@@ -1,0 +1,52 @@
+// Ablation: binarization and inference-mode matrix.
+//
+// Sweeps the three design axes this reproduction exposes:
+//   * TOB policy — paper-literal H/2 vs intensity-centered threshold
+//     (see core::binarize_policy for why H/2 collapses dark images),
+//   * accumulation — binarized image HVs (Fig. 5 hardware) vs raw sums
+//     (the paper's non-binary Sigma L_i formulation),
+//   * query — binarized cosine vs integer cosine.
+// This table documents which combination reproduces the paper's accuracy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "uhd/common/table.hpp"
+#include "uhd/core/encoder.hpp"
+#include "uhd/hdc/classifier.hpp"
+
+int main() {
+    using namespace uhd;
+    const auto w = bench::load_workload(1000, 300, 1);
+    const auto [train, test] = bench::mnist_pair(w.train_n, w.test_n);
+    const auto dim = static_cast<std::size_t>(env_int("UHD_DIM", 1024));
+
+    std::printf("== ablation: TOB policy x accumulation x query mode (D=%zu) ==\n\n", dim);
+    text_table table;
+    table.set_header({"TOB policy", "accumulation", "query", "accuracy (%)"});
+
+    for (const auto policy :
+         {core::binarize_policy::mean_intensity, core::binarize_policy::half_inputs}) {
+        core::uhd_config cfg;
+        cfg.dim = dim;
+        cfg.policy = policy;
+        const core::uhd_encoder enc(cfg, train.shape());
+        for (const auto tm : {hdc::train_mode::binarized_images, hdc::train_mode::raw_sums}) {
+            for (const auto qm : {hdc::query_mode::binarized, hdc::query_mode::integer}) {
+                hdc::hd_classifier<core::uhd_encoder> clf(enc, train.num_classes(), tm, qm);
+                clf.fit(train);
+                table.add_row(
+                    {policy == core::binarize_policy::mean_intensity ? "mean-intensity"
+                                                                     : "H/2 (literal)",
+                     tm == hdc::train_mode::raw_sums ? "raw sums" : "binarized images",
+                     qm == hdc::query_mode::integer ? "integer" : "binarized",
+                     format_fixed(100.0 * clf.evaluate(test), 2)});
+            }
+        }
+        table.add_rule();
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("expected shape: mean-intensity TOB dominates the literal H/2 rows on\n");
+    std::printf("dark (MNIST-like) data; raw-sums + integer query is the configuration\n");
+    std::printf("that matches the paper's reported accuracy band.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: scalar quantization depth xi. The paper claims xi = 16 (M = 4
+// bits, N = 16-bit unary streams) "does not affect the accuracy of the
+// system"; this sweep quantifies that claim, with the unquantized
+// double-precision encoder as the reference row.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "uhd/common/table.hpp"
+#include "uhd/core/encoder.hpp"
+#include "uhd/hdc/classifier.hpp"
+
+namespace {
+
+// Adapter exposing the unquantized reference path through the classifier.
+struct exact_encoder {
+    const uhd::core::uhd_encoder* inner;
+    [[nodiscard]] std::size_t dim() const { return inner->dim(); }
+    void encode(std::span<const std::uint8_t> image, std::span<std::int32_t> out) const {
+        inner->encode_exact(image, out);
+    }
+};
+
+} // namespace
+
+int main() {
+    using namespace uhd;
+    const auto w = bench::load_workload(1000, 300, 1);
+    const auto [train, test] = bench::mnist_pair(w.train_n, w.test_n);
+    const auto dim = static_cast<std::size_t>(env_int("UHD_DIM", 1024));
+
+    std::printf("== ablation: quantization levels xi (D=%zu) ==\n\n", dim);
+    text_table table;
+    table.set_header({"xi", "M bits", "N stream bits", "accuracy (%)"});
+
+    for (const unsigned xi : {4u, 8u, 16u, 32u, 64u}) {
+        core::uhd_config cfg;
+        cfg.dim = dim;
+        cfg.quant_levels = xi;
+        const core::uhd_encoder enc(cfg, train.shape());
+        hdc::hd_classifier<core::uhd_encoder> clf(enc, train.num_classes(),
+                                                  hdc::train_mode::raw_sums,
+                                                  hdc::query_mode::integer);
+        clf.fit(train);
+        table.add_row({std::to_string(xi), std::to_string(cfg.scalar_bits()),
+                       std::to_string(cfg.stream_length()),
+                       format_fixed(100.0 * clf.evaluate(test), 2)});
+    }
+
+    // Unquantized reference (no UST, double compares — software only).
+    core::uhd_config cfg;
+    cfg.dim = dim;
+    const core::uhd_encoder enc(cfg, train.shape());
+    const exact_encoder exact{&enc};
+    hdc::hd_classifier<exact_encoder> reference(exact, train.num_classes(),
+                                                hdc::train_mode::raw_sums,
+                                                hdc::query_mode::integer);
+    reference.fit(train);
+    table.add_rule();
+    table.add_row({"exact", "64 (double)", "-",
+                   format_fixed(100.0 * reference.evaluate(test), 2)});
+
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("expected shape: accuracy saturates by xi = 16 — quantization to\n");
+    std::printf("4-bit scalars / 16-bit unary streams is accuracy-free (paper Sec. III).\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+// Ablation: which threshold-sequence family drives the uHD encoder best?
+// Sobol (the paper's choice, contribution 1) vs Halton vs R2 vs LFSR
+// pseudo-random vs xoshiro pseudo-random — identical datapath, identical
+// quantization, only the threshold source changes.
+//
+// This isolates the paper's core claim that quasi-randomness (LD sequences)
+// beats pseudo-randomness for deterministic single-pass encoding.
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "uhd/common/rng.hpp"
+#include "uhd/common/table.hpp"
+#include "uhd/core/encoder.hpp"
+#include "uhd/hdc/classifier.hpp"
+#include "uhd/lowdisc/halton.hpp"
+#include "uhd/lowdisc/lfsr.hpp"
+
+namespace {
+
+using namespace uhd;
+
+// Build a pixels x dim quantized threshold bank from any unit-interval
+// sequence source f(pixel, index).
+ld::quantized_sobol_bank build_bank(std::size_t pixels, std::size_t dim, unsigned levels,
+                                    const std::function<double(std::size_t, std::size_t)>& f) {
+    std::vector<std::uint8_t> data(pixels * dim);
+    for (std::size_t p = 0; p < pixels; ++p) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            data[p * dim + d] = ld::quantize_unit(f(p, d), levels);
+        }
+    }
+    return ld::quantized_sobol_bank::from_raw(pixels, dim, levels, std::move(data));
+}
+
+double run(const data::dataset& train, const data::dataset& test,
+           core::uhd_config cfg, ld::quantized_sobol_bank bank) {
+    const core::uhd_encoder enc(cfg, train.shape(), std::move(bank));
+    hdc::hd_classifier<core::uhd_encoder> clf(enc, train.num_classes(),
+                                              hdc::train_mode::raw_sums,
+                                              hdc::query_mode::integer);
+    clf.fit(train);
+    return clf.evaluate(test);
+}
+
+} // namespace
+
+int main() {
+    const auto w = uhd::bench::load_workload(1000, 300, 1);
+    const auto [train, test] = uhd::bench::mnist_pair(w.train_n, w.test_n);
+    const std::size_t pixels = train.shape().pixels();
+    core::uhd_config cfg;
+    cfg.dim = static_cast<std::size_t>(uhd::env_int("UHD_DIM", 1024));
+
+    std::printf("== ablation: threshold sequence family (D=%zu, xi=%u) ==\n\n", cfg.dim,
+                cfg.quant_levels);
+    uhd::text_table table;
+    table.set_header({"sequence family", "deterministic", "accuracy (%)"});
+
+    // Sobol (the uHD design): scrambled and unscrambled.
+    {
+        const core::uhd_encoder enc(cfg, train.shape());
+        uhd::hdc::hd_classifier<core::uhd_encoder> clf(
+            enc, train.num_classes(), uhd::hdc::train_mode::raw_sums,
+            uhd::hdc::query_mode::integer);
+        clf.fit(train);
+        table.add_row({"Sobol + digital shift (uHD)", "yes",
+                       uhd::format_fixed(100.0 * clf.evaluate(test), 2)});
+    }
+    {
+        core::uhd_config plain = cfg;
+        plain.scramble = false;
+        const core::uhd_encoder enc(plain, train.shape());
+        uhd::hdc::hd_classifier<core::uhd_encoder> clf(
+            enc, train.num_classes(), uhd::hdc::train_mode::raw_sums,
+            uhd::hdc::query_mode::integer);
+        clf.fit(train);
+        table.add_row({"Sobol, unscrambled", "yes",
+                       uhd::format_fixed(100.0 * clf.evaluate(test), 2)});
+    }
+
+    // Halton: dimension p uses the (p+1)-th prime base (degrades at high
+    // dimension index — part of why the paper picks Sobol).
+    {
+        const uhd::ld::halton_sequence halton(pixels);
+        const double accuracy =
+            run(train, test, cfg,
+                build_bank(pixels, cfg.dim, cfg.quant_levels,
+                           [&](std::size_t p, std::size_t d) { return halton.at(d, p); }));
+        table.add_row({"Halton (p-th prime base)", "yes",
+                       uhd::format_fixed(100.0 * accuracy, 2)});
+    }
+
+    // R2 additive recurrence.
+    {
+        const uhd::ld::r2_sequence r2(pixels);
+        const double accuracy =
+            run(train, test, cfg,
+                build_bank(pixels, cfg.dim, cfg.quant_levels,
+                           [&](std::size_t p, std::size_t d) { return r2.at(d, p); }));
+        table.add_row({"R2 additive recurrence", "yes",
+                       uhd::format_fixed(100.0 * accuracy, 2)});
+    }
+
+    // LFSR pseudo-random thresholds (hardware-style randomness).
+    {
+        uhd::ld::lfsr reg(32, 0xBEEF, uhd::ld::lfsr_kind::fibonacci);
+        std::vector<double> flat(pixels * cfg.dim);
+        for (auto& v : flat) v = reg.next_unit();
+        const double accuracy =
+            run(train, test, cfg,
+                build_bank(pixels, cfg.dim, cfg.quant_levels,
+                           [&](std::size_t p, std::size_t d) {
+                               return flat[p * cfg.dim + d];
+                           }));
+        table.add_row({"LFSR pseudo-random", "seeded",
+                       uhd::format_fixed(100.0 * accuracy, 2)});
+    }
+
+    // Software PRNG thresholds.
+    {
+        uhd::xoshiro256ss rng(99);
+        std::vector<double> flat(pixels * cfg.dim);
+        for (auto& v : flat) v = rng.next_unit();
+        const double accuracy =
+            run(train, test, cfg,
+                build_bank(pixels, cfg.dim, cfg.quant_levels,
+                           [&](std::size_t p, std::size_t d) {
+                               return flat[p * cfg.dim + d];
+                           }));
+        table.add_row({"xoshiro pseudo-random", "seeded",
+                       uhd::format_fixed(100.0 * accuracy, 2)});
+    }
+
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("reading: Sobol keeps full accuracy while being deterministic and\n");
+    std::printf("storage-free to generate (contribution 1); unscrambled Halton collapses\n");
+    std::printf("at high dimension index (why Sobol, not Halton). Pseudo-random\n");
+    std::printf("thresholds can match accuracy in the integer-cosine regime but need a\n");
+    std::printf("seed search for reliability (Fig. 6(a)) and an RNG in hardware, which\n");
+    std::printf("is exactly the cost uHD's stored quantized Sobol bank removes.\n");
+    return 0;
+}

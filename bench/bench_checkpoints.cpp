@@ -1,0 +1,63 @@
+// The paper's three in-text design checkpoints, from the gate-level model
+// plus measured datapath activity:
+//  [1] energy to generate one operand-stream bit: conventional counter+
+//      comparator generator vs the proposed UST fetch (Fig. 3(b) vs (c)),
+//  [2] hypervector-generation comparator energy per HV: conventional binary
+//      comparators vs the proposed unary comparator (Fig. 4),
+//  [3] accumulate-and-binarize energy per image feature: popcount+subtractor
+//      vs the proposed popcount+masking logic (Fig. 5).
+#include <cstdio>
+
+#include "uhd/common/table.hpp"
+#include "uhd/data/synthetic.hpp"
+#include "uhd/hw/report.hpp"
+#include "uhd/sim/baseline_datapath.hpp"
+#include "uhd/sim/uhd_datapath.hpp"
+
+int main() {
+    using namespace uhd;
+    const hw::hdc_cost_model model;
+    hw::design_point p; // D = 1K, H = 784, the paper's checkpoint config
+
+    std::printf("== design checkpoints (D=1K, H=784, generic 45nm) ==\n\n");
+    text_table table;
+    table.set_header({"checkpoint", "baseline", "uHD", "ratio", "paper ratio"});
+
+    const double gen_base = model.baseline_bitgen_energy_fj(p);
+    const double gen_uhd = model.uhd_bitgen_energy_fj(p);
+    table.add_row({"[1] stream generation (fJ/bit)", format_fixed(gen_base, 2),
+                   format_fixed(gen_uhd, 2), format_ratio(gen_base / gen_uhd),
+                   "217x (167 fJ vs 0.77 fJ)"});
+
+    const double cmp_base = model.baseline_comparator_energy_pj_per_hv(p);
+    const double cmp_uhd = model.uhd_comparator_energy_pj_per_hv(p);
+    table.add_row({"[2] comparator (pJ/HV)", format_fixed(cmp_base, 2),
+                   format_fixed(cmp_uhd, 2), format_ratio(cmp_base / cmp_uhd),
+                   "10.4x (2.49 pJ vs 0.24 pJ)"});
+
+    const double acc_base = model.baseline_accbin_energy_pj_per_feature(p);
+    const double acc_uhd = model.uhd_accbin_energy_pj_per_feature(p);
+    table.add_row({"[3] accum+binarize (pJ/feature)", format_fixed(acc_base, 2),
+                   format_fixed(acc_uhd, 2), format_ratio(acc_base / acc_uhd),
+                   "2.0x (68.7 pJ vs 34.7 pJ)"});
+    std::printf("%s\n", table.to_string().c_str());
+
+    // Activity cross-check from the bit-serial datapath simulation.
+    std::printf("== measured datapath activity (one 28x28 image, D=1K) ==\n");
+    const auto ds = data::make_synthetic_digits(1, 3);
+    core::uhd_config ucfg;
+    ucfg.dim = 1024;
+    const core::uhd_encoder uenc(ucfg, ds.shape());
+    sim::event_counts ue;
+    (void)sim::uhd_datapath_sim(uenc).run(ds.image(0), &ue);
+    hdc::baseline_config bcfg;
+    bcfg.dim = 1024;
+    const hdc::baseline_encoder benc(bcfg, ds.shape());
+    sim::event_counts be;
+    (void)sim::baseline_datapath_sim(benc).run(ds.image(0), &be);
+    std::printf("  uHD:      %s\n", ue.to_string().c_str());
+    std::printf("  baseline: %s\n", be.to_string().c_str());
+    std::printf("\nreproduced claim: the proposed module wins each checkpoint; the\n");
+    std::printf("generation stage dominates the gap, the binarizer saves ~2x.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the table/figure bench harnesses.
+//
+// Benches run argument-less; workload sizes scale through UHD_* environment
+// variables so the full paper-scale sweep is one command away:
+//   UHD_TRAIN_N=60000 UHD_TEST_N=10000 UHD_ITERS=100 ./bench_table4_mnist
+#ifndef UHD_BENCH_COMMON_HPP
+#define UHD_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "uhd/common/config.hpp"
+#include "uhd/data/idx.hpp"
+#include "uhd/data/synthetic.hpp"
+
+namespace uhd::bench {
+
+struct workload {
+    std::size_t train_n;
+    std::size_t test_n;
+    std::size_t iters;
+};
+
+inline workload load_workload(std::size_t default_train = 1000,
+                              std::size_t default_test = 300,
+                              std::size_t default_iters = 5) {
+    workload w{};
+    w.train_n = static_cast<std::size_t>(env_int("UHD_TRAIN_N",
+                                                 static_cast<std::int64_t>(default_train)));
+    w.test_n = static_cast<std::size_t>(env_int("UHD_TEST_N",
+                                                static_cast<std::int64_t>(default_test)));
+    w.iters = static_cast<std::size_t>(env_int("UHD_ITERS",
+                                               static_cast<std::int64_t>(default_iters)));
+    return w;
+}
+
+/// MNIST train/test pair: real IDX files when available, synthetic analogue
+/// otherwise. Returns (train, test, used_real).
+inline std::pair<data::dataset, data::dataset> mnist_pair(std::size_t train_n,
+                                                          std::size_t test_n,
+                                                          bool* used_real = nullptr) {
+    const std::string dir = env_string("UHD_MNIST_DIR", "data/mnist");
+    if (auto real = data::try_load_mnist(dir)) {
+        if (used_real != nullptr) *used_real = true;
+        std::printf("# using real MNIST from %s\n", dir.c_str());
+        return std::move(*real);
+    }
+    if (used_real != nullptr) *used_real = false;
+    return {data::make_synthetic_digits(train_n, 42),
+            data::make_synthetic_digits(test_n, 4242)};
+}
+
+} // namespace uhd::bench
+
+#endif // UHD_BENCH_COMMON_HPP

@@ -1,0 +1,131 @@
+// Kernel micro-benchmarks (google-benchmark): the per-operation costs
+// behind Table I's runtime rows — comparator styles, encode kernels,
+// sequence generation, and similarity search.
+#include <benchmark/benchmark.h>
+
+#include "uhd/bitstream/unary.hpp"
+#include "uhd/core/binarizer.hpp"
+#include "uhd/core/encoder.hpp"
+#include "uhd/data/synthetic.hpp"
+#include "uhd/hdc/baseline_encoder.hpp"
+#include "uhd/hdc/similarity.hpp"
+#include "uhd/lowdisc/lfsr.hpp"
+#include "uhd/lowdisc/sobol.hpp"
+
+namespace {
+
+using namespace uhd;
+
+const data::dataset& digits() {
+    static const data::dataset ds = data::make_synthetic_digits(16, 5);
+    return ds;
+}
+
+void BM_UnaryComparatorGateLevel(benchmark::State& state) {
+    const auto a = bs::unary_encode(7, 16);
+    const auto b = bs::unary_encode(11, 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bs::unary_compare_geq(a, b));
+    }
+}
+BENCHMARK(BM_UnaryComparatorGateLevel);
+
+void BM_QuantizedIntegerCompare(benchmark::State& state) {
+    // The fast-path equivalent of the unary comparator (one byte compare).
+    volatile std::uint8_t a = 7;
+    volatile std::uint8_t b = 11;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a >= b);
+    }
+}
+BENCHMARK(BM_QuantizedIntegerCompare);
+
+void BM_UhdEncode(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    core::uhd_config cfg;
+    cfg.dim = dim;
+    const core::uhd_encoder enc(cfg, digits().shape());
+    std::vector<std::int32_t> acc(dim);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        enc.encode(digits().image(i++ % digits().size()), acc);
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim * digits().shape().pixels()));
+}
+BENCHMARK(BM_UhdEncode)->Arg(1024)->Arg(8192);
+
+void BM_BaselineEncode(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    hdc::baseline_config cfg;
+    cfg.dim = dim;
+    const hdc::baseline_encoder enc(cfg, digits().shape());
+    std::vector<std::int32_t> acc(dim);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        enc.encode(digits().image(i++ % digits().size()), acc);
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim * digits().shape().pixels()));
+}
+BENCHMARK(BM_BaselineEncode)->Arg(1024)->Arg(8192);
+
+void BM_SobolSequenceNext(benchmark::State& state) {
+    const auto table = ld::sobol_directions::standard(4);
+    ld::sobol_sequence seq(table.direction_numbers(3));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(seq.next_fraction());
+    }
+}
+BENCHMARK(BM_SobolSequenceNext);
+
+void BM_LfsrStep(benchmark::State& state) {
+    ld::lfsr reg(32, 0xACE1, ld::lfsr_kind::fibonacci);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.step());
+    }
+}
+BENCHMARK(BM_LfsrStep);
+
+void BM_QuantizedBankBuild(benchmark::State& state) {
+    const auto table = ld::sobol_directions::standard(64);
+    for (auto _ : state) {
+        ld::quantized_sobol_bank bank(table, 64, 1024, 16);
+        benchmark::DoNotOptimize(bank.row(0).data());
+    }
+}
+BENCHMARK(BM_QuantizedBankBuild);
+
+void BM_HypervectorCosine(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    xoshiro256ss rng(3);
+    const hdc::hypervector a = hdc::hypervector::random(dim, rng);
+    const hdc::hypervector b = hdc::hypervector::random(dim, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hdc::cosine(a, b));
+    }
+}
+BENCHMARK(BM_HypervectorCosine)->Arg(1024)->Arg(8192);
+
+void BM_PopcountBinarizerFeed(benchmark::State& state) {
+    for (auto _ : state) {
+        core::popcount_binarizer bin(784);
+        for (std::size_t i = 0; i < 784; ++i) bin.feed((i & 3) == 0);
+        benchmark::DoNotOptimize(bin.sign_bit());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 784);
+}
+BENCHMARK(BM_PopcountBinarizerFeed);
+
+void BM_UstFetch(benchmark::State& state) {
+    const bs::unary_stream_table ust(16, 16);
+    std::size_t q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ust.fetch(q++ % 16));
+    }
+}
+BENCHMARK(BM_UstFetch);
+
+} // namespace

@@ -1,0 +1,40 @@
+// Table III reproduction: whole-system energy-efficiency of this work
+// compared against the published SOTA HDC frameworks' reported ratios.
+//
+// The framework rows are literature constants (each framework's reported
+// efficiency over its own reference baseline, collected by the surveys the
+// paper cites); "This work" is measured from our gate-level model as the
+// full-system baseline/uHD energy ratio per image, including memory
+// accesses, generation, binding, bundling and binarization.
+#include <cstdio>
+
+#include "uhd/common/table.hpp"
+#include "uhd/hw/report.hpp"
+
+int main() {
+    using namespace uhd;
+    const hw::hdc_cost_model model;
+    hw::design_point p; // D = 1K, H = 784 (the paper's headline point)
+
+    const double measured = model.system_efficiency_ratio(p);
+
+    std::printf("== Table III: energy efficiency over baseline architectures ==\n\n");
+    text_table table;
+    table.set_header({"HDC framework", "platform", "energy efficiency"});
+    table.add_row({"Semi-HD [21]", "Raspberry Pi", "12.60x"});
+    table.add_row({"Voice-HD [22]", "Central Processing Unit", "11.90x"});
+    table.add_row({"tiny-HD [23]", "Microprocessor", "11.20x"});
+    table.add_row({"PULP-HD [24]", "ARM Microprocessor", "9.9x"});
+    table.add_row({"Hierarchical-MHD [25]", "Central Processing Unit", "6.60x"});
+    table.add_row({"AdaptHD [26]", "Raspberry Pi", "6.30x"});
+    table.add_row({"Laelaps [27]", "Central Processing Unit", "1.40x"});
+    table.add_rule();
+    table.add_row({"This work (paper)", "ARM Microprocessor", "31.83x"});
+    table.add_row({"This work (measured, gate model)", "generic 45nm model",
+                   format_ratio(measured, 2)});
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("framework rows are reported constants from the surveys [19], [20];\n");
+    std::printf("the measured row is this library's baseline/uHD per-image energy ratio\n");
+    std::printf("at D=1K, H=784. The reproduced claim: uHD clears every SOTA ratio.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Table V reproduction: accuracy of uHD vs the baseline HDC on CIFAR-10,
+// BloodMNIST, BreastMNIST, FashionMNIST and SVHN (synthetic analogues,
+// DESIGN.md §4.2) for D in {1K, 2K, 8K}.
+//
+//   UHD_TRAIN_N=4000 UHD_TEST_N=1000 ./bench_table5_datasets
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "uhd/common/stopwatch.hpp"
+#include "uhd/common/table.hpp"
+#include "uhd/core/encoder.hpp"
+#include "uhd/hdc/baseline_encoder.hpp"
+#include "uhd/hdc/classifier.hpp"
+
+int main() {
+    using namespace uhd;
+    const auto w = bench::load_workload(800, 250, 1);
+
+    std::printf("== Table V: accuracy (%%) on the extended datasets ==\n");
+    std::printf("# synthetic analogues, %zu train / %zu test per dataset\n\n", w.train_n,
+                w.test_n);
+
+    text_table table;
+    table.set_header({"dataset", "D=1K ours", "D=1K base", "D=2K ours", "D=2K base",
+                      "D=8K ours", "D=8K base"});
+
+    const std::vector<data::dataset_kind> kinds = {
+        data::dataset_kind::cifar10, data::dataset_kind::blood_mnist,
+        data::dataset_kind::breast_mnist, data::dataset_kind::fashion_mnist,
+        data::dataset_kind::svhn};
+
+    stopwatch total;
+    for (const auto kind : kinds) {
+        const auto info = data::info_for(kind);
+        const auto train = data::make_synthetic(kind, w.train_n, 42).to_grayscale();
+        const auto test = data::make_synthetic(kind, w.test_n, 4242).to_grayscale();
+        std::vector<std::string> cells = {info.name};
+        for (const std::size_t dim : {1024u, 2048u, 8192u}) {
+            core::uhd_config ucfg;
+            ucfg.dim = dim;
+            const core::uhd_encoder uenc(ucfg, train.shape());
+            hdc::hd_classifier<core::uhd_encoder> ours(
+                uenc, info.classes, hdc::train_mode::raw_sums, hdc::query_mode::integer);
+            ours.fit(train);
+            cells.push_back(format_fixed(100.0 * ours.evaluate(test), 2));
+
+            hdc::baseline_config bcfg;
+            bcfg.dim = dim;
+            const hdc::baseline_encoder benc(bcfg, train.shape());
+            hdc::hd_classifier<hdc::baseline_encoder> base(benc, info.classes);
+            base.fit(train);
+            cells.push_back(format_fixed(100.0 * base.evaluate(test), 2));
+        }
+        // Reorder: we filled ours/base per dim already in the right order.
+        table.add_row(std::move(cells));
+        std::printf("# %s done (%.1fs elapsed)\n", info.name.c_str(), total.seconds());
+    }
+    std::printf("\n%s\n", table.to_string().c_str());
+    std::printf("paper (real datasets): uHD >= baseline at every point, e.g. D=1K\n");
+    std::printf("CIFAR-10 39.29 vs 38.21, FashionMNIST 68.60 vs 54.19. The reproduced\n");
+    std::printf("claim is the ordering and its growth with D, not absolute accuracy\n");
+    std::printf("(the analogues are easier than the real datasets).\n");
+    return 0;
+}

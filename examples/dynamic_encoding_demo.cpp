@@ -1,0 +1,52 @@
+// Dynamic (online) hypervector encoding demo — the "Dynamic" in the paper's
+// title: because uHD's encoder is deterministic and single-iteration, class
+// hypervectors can be built incrementally on an edge device, one labeled
+// sample at a time, with no iterative re-generation of item memories.
+//
+// The demo streams training images one by one, tracks accuracy on a held-out
+// set as the model absorbs data, and contrasts the uHD stream-table encode
+// path (what the Fig. 5 hardware executes) against the software fast path.
+//
+//   UHD_STREAM_N=800 ./dynamic_encoding_demo
+#include <cstdio>
+
+#include "uhd/common/config.hpp"
+#include "uhd/core/model.hpp"
+#include "uhd/data/synthetic.hpp"
+#include "uhd/sim/uhd_datapath.hpp"
+
+int main() {
+    using namespace uhd;
+    const auto stream_n = static_cast<std::size_t>(env_int("UHD_STREAM_N", 600));
+
+    const data::dataset stream = data::make_synthetic_digits(stream_n, 11);
+    const data::dataset holdout = data::make_synthetic_digits(250, 22);
+
+    core::uhd_config config;
+    config.dim = 1024;
+    core::uhd_model model(config, stream.shape(), 10, hdc::train_mode::raw_sums);
+
+    std::printf("online training on a stream of %zu labeled images\n", stream.size());
+    std::printf("%8s %12s\n", "seen", "holdout (%)");
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        model.partial_fit(stream.image(i), stream.label(i));
+        if ((i + 1) % (stream.size() / 6) == 0 || i + 1 == stream.size()) {
+            std::printf("%8zu %12.2f\n", i + 1, 100.0 * model.evaluate(holdout));
+        }
+    }
+
+    // One optional retraining epoch (the AdaptHD-style extension).
+    const std::size_t updates = model.retrain(stream, 1);
+    std::printf("after 1 retrain epoch (%zu updates): %.2f%%\n", updates,
+                100.0 * model.evaluate(holdout));
+
+    // Show that the hardware datapath agrees bit-for-bit with the software
+    // encoder on a fresh sample — the property that makes the model
+    // deployable on the Fig. 5 pipeline without retraining.
+    const sim::uhd_datapath_sim datapath(model.encoder());
+    const auto hv_hw = datapath.run(holdout.image(0));
+    const auto hv_sw = model.encoder().encode_sign(holdout.image(0));
+    std::printf("hardware/software hypervector match: %s\n",
+                hv_hw == hv_sw ? "bit-identical" : "MISMATCH");
+    return 0;
+}

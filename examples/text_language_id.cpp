@@ -1,0 +1,79 @@
+// Text language identification with trigram hypervectors — the classic HDC
+// NLP task (paper reference [3]), demonstrating that the same bind/permute/
+// bundle primitives behind the image pipeline handle symbolic sequences.
+//
+// Three synthetic "languages" are first-order Markov chains over a small
+// alphabet; one class hypervector per language is bundled from trigram
+// encodings, and held-out samples are classified by cosine similarity.
+#include <cstdio>
+#include <vector>
+
+#include "uhd/common/rng.hpp"
+#include "uhd/hdc/ngram.hpp"
+#include "uhd/hdc/similarity.hpp"
+
+namespace {
+
+constexpr std::size_t alphabet = 16;
+
+std::vector<std::size_t> sample_text(std::size_t language, std::size_t length,
+                                     uhd::xoshiro256ss& rng) {
+    std::vector<std::size_t> text;
+    std::size_t state = rng.next_below(alphabet);
+    for (std::size_t t = 0; t < length; ++t) {
+        text.push_back(state);
+        const std::size_t stride = 1 + 2 * language;
+        if (rng.next_unit() < 0.8) {
+            state = (state * stride + language + 1) % alphabet;
+        } else {
+            state = rng.next_below(alphabet);
+        }
+    }
+    return text;
+}
+
+} // namespace
+
+int main() {
+    using namespace uhd;
+    const hdc::symbol_item_memory symbols(alphabet, 4096, /*seed=*/7);
+    const hdc::ngram_encoder encoder(symbols, /*n=*/3);
+    xoshiro256ss rng(99);
+
+    // Train: bundle 20 samples of 200 symbols per language.
+    std::vector<hdc::hypervector> classes;
+    for (std::size_t lang = 0; lang < 3; ++lang) {
+        hdc::accumulator acc(encoder.dim());
+        for (int sample = 0; sample < 20; ++sample) {
+            acc.add_values(encoder.encode(sample_text(lang, 200, rng)).values());
+        }
+        classes.push_back(acc.sign());
+        std::printf("language %zu class hypervector trained (%zu trigram windows/sample)\n",
+                    lang, 200 - 2);
+    }
+
+    // Classify held-out text of decreasing length: hypervector similarity
+    // sharpens as evidence accumulates.
+    std::printf("\n%10s %10s\n", "length", "accuracy");
+    for (const std::size_t length : {10u, 25u, 50u, 100u, 200u}) {
+        std::size_t correct = 0;
+        const std::size_t trials = 120;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+            const std::size_t truth = trial % 3;
+            const auto query = encoder.encode_sign(sample_text(truth, length, rng));
+            std::size_t best = 0;
+            double best_similarity = -2.0;
+            for (std::size_t c = 0; c < classes.size(); ++c) {
+                const double similarity = hdc::cosine(query, classes[c]);
+                if (similarity > best_similarity) {
+                    best_similarity = similarity;
+                    best = c;
+                }
+            }
+            if (best == truth) ++correct;
+        }
+        std::printf("%10zu %9.1f%%\n", length,
+                    100.0 * static_cast<double>(correct) / static_cast<double>(trials));
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+#include "uhd/bitstream/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::bs {
+
+double scc(const bitstream& a, const bitstream& b) {
+    UHD_REQUIRE(a.size() == b.size(), "SCC inputs must have equal length");
+    UHD_REQUIRE(!a.empty(), "SCC of empty streams");
+    const double n = static_cast<double>(a.size());
+    const double pa = a.value();
+    const double pb = b.value();
+    const double pab = static_cast<double>(overlap_count(a, b)) / n;
+    const double delta = pab - pa * pb;
+
+    if (delta > 0.0) {
+        const double bound = std::min(pa, pb) - pa * pb;
+        return bound <= 0.0 ? 0.0 : delta / bound;
+    }
+    if (delta < 0.0) {
+        const double bound = pa * pb - std::max(pa + pb - 1.0, 0.0);
+        return bound <= 0.0 ? 0.0 : delta / bound;
+    }
+    return 0.0;
+}
+
+double pearson(const bitstream& a, const bitstream& b) {
+    UHD_REQUIRE(a.size() == b.size(), "pearson inputs must have equal length");
+    UHD_REQUIRE(!a.empty(), "pearson of empty streams");
+    const double n = static_cast<double>(a.size());
+    const double pa = a.value();
+    const double pb = b.value();
+    const double pab = static_cast<double>(overlap_count(a, b)) / n;
+    const double var_a = pa * (1.0 - pa);
+    const double var_b = pb * (1.0 - pb);
+    if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+    return (pab - pa * pb) / std::sqrt(var_a * var_b);
+}
+
+double value_error(const bitstream& stream, double reference) {
+    return std::abs(stream.value() - reference);
+}
+
+double bipolar_agreement(const bitstream& a, const bitstream& b) {
+    UHD_REQUIRE(a.size() == b.size(), "agreement inputs must have equal length");
+    UHD_REQUIRE(!a.empty(), "agreement of empty streams");
+    const double n = static_cast<double>(a.size());
+    const double mismatches = static_cast<double>(hamming_distance(a, b));
+    return (n - 2.0 * mismatches) / n;
+}
+
+} // namespace uhd::bs

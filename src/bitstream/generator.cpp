@@ -1,0 +1,59 @@
+#include "uhd/bitstream/generator.hpp"
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::bs {
+
+counter_comparator_generator::counter_comparator_generator(unsigned precision_bits)
+    : precision_bits_(precision_bits), length_(std::size_t{1} << precision_bits) {
+    UHD_REQUIRE(precision_bits >= 1 && precision_bits <= 20,
+                "counter width must be in [1, 20] bits");
+}
+
+void counter_comparator_generator::load(std::uint64_t value) {
+    UHD_REQUIRE(value <= length_, "value exceeds generator range");
+    value_ = value;
+    cycle_ = 0;
+}
+
+bool counter_comparator_generator::step() {
+    UHD_REQUIRE(!done(), "generator already emitted all bits for this value");
+    const bool out = cycle_ < value_;
+    ++cycle_;
+    return out;
+}
+
+bitstream counter_comparator_generator::generate(std::uint64_t value) {
+    load(value);
+    bitstream out(length_);
+    for (std::size_t i = 0; i < length_; ++i) out.set_bit(i, step());
+    return out;
+}
+
+bitstream bernoulli_stream(double probability, std::size_t length, xoshiro256ss& rng) {
+    UHD_REQUIRE(probability >= 0.0 && probability <= 1.0, "probability out of [0, 1]");
+    bitstream out(length);
+    for (std::size_t i = 0; i < length; ++i) {
+        if (rng.next_unit() < probability) out.set_bit(i, true);
+    }
+    return out;
+}
+
+bitstream threshold_stream(double value, std::span<const double> thresholds) {
+    bitstream out(thresholds.size());
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        if (value >= thresholds[i]) out.set_bit(i, true);
+    }
+    return out;
+}
+
+bitstream quantized_threshold_stream(std::uint8_t q_value,
+                                     std::span<const std::uint8_t> q_thresholds) {
+    bitstream out(q_thresholds.size());
+    for (std::size_t i = 0; i < q_thresholds.size(); ++i) {
+        if (q_value >= q_thresholds[i]) out.set_bit(i, true);
+    }
+    return out;
+}
+
+} // namespace uhd::bs

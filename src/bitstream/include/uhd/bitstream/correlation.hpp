@@ -1,0 +1,34 @@
+// Correlation and accuracy metrics for bit-streams.
+//
+// SCC (stochastic cross-correlation, Alaghi & Hayes) quantifies how
+// correlated two bit-streams are: +1 for maximally overlapped (unary streams
+// of equal alignment), 0 for independent, -1 for maximally anti-overlapped.
+// The unary min/AND trick in the paper's comparator requires SCC = +1, and
+// hypervector orthogonality in HDC corresponds to SCC ~ 0 — these metrics
+// back the tests and the sequence-quality diagnostics.
+#ifndef UHD_BITSTREAM_CORRELATION_HPP
+#define UHD_BITSTREAM_CORRELATION_HPP
+
+#include "uhd/bitstream/bitstream.hpp"
+
+namespace uhd::bs {
+
+/// Stochastic cross-correlation of two equal-length streams, in [-1, +1].
+/// Returns 0 when either stream is constant (the measure is undefined there).
+[[nodiscard]] double scc(const bitstream& a, const bitstream& b);
+
+/// Pearson correlation of the bit sequences (bits as 0/1 samples).
+/// Returns 0 when either stream is constant.
+[[nodiscard]] double pearson(const bitstream& a, const bitstream& b);
+
+/// Absolute error between the stream value and a reference value in [0, 1].
+[[nodiscard]] double value_error(const bitstream& stream, double reference);
+
+/// Normalized agreement of two bipolar streams in [-1, +1]:
+/// (matches - mismatches) / length. Equals the cosine similarity of the
+/// corresponding +-1 hypervectors.
+[[nodiscard]] double bipolar_agreement(const bitstream& a, const bitstream& b);
+
+} // namespace uhd::bs
+
+#endif // UHD_BITSTREAM_CORRELATION_HPP

@@ -1,0 +1,77 @@
+// Bit-stream generators.
+//
+// * counter_comparator_generator — the conventional unary stream number
+//   generator of Fig. 3(b): an M-bit counter swept against the M-bit input
+//   value. Cycle-accurate step() interface plus whole-stream convenience.
+// * bernoulli_stream — classic stochastic-computing stream: compare the
+//   value against a fresh pseudo-random number each cycle.
+// * threshold_stream — compare a value in [0, 1] against an arbitrary
+//   threshold sequence. With a low-discrepancy (Sobol) threshold sequence
+//   this is exactly how uHD generates its level hypervectors, which is the
+//   SC <-> HDC analogy at the heart of the paper.
+#ifndef UHD_BITSTREAM_GENERATOR_HPP
+#define UHD_BITSTREAM_GENERATOR_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "uhd/bitstream/bitstream.hpp"
+#include "uhd/common/rng.hpp"
+
+namespace uhd::bs {
+
+/// Conventional unary stream generator: M-bit counter + M-bit comparator.
+///
+/// For an input value v (0 <= v < 2^M) the generator emits 2^M bits where
+/// cycle k outputs 1 while k < v — a ones-leading thermometer stream of
+/// value v.
+class counter_comparator_generator {
+public:
+    /// `precision_bits` is M; streams have length 2^M.
+    explicit counter_comparator_generator(unsigned precision_bits);
+
+    /// M, the counter/comparator width.
+    [[nodiscard]] unsigned precision_bits() const noexcept { return precision_bits_; }
+
+    /// Stream length 2^M.
+    [[nodiscard]] std::size_t stream_length() const noexcept { return length_; }
+
+    /// Load a new input value and reset the counter; v must be < 2^M... == is
+    /// allowed as well so the all-ones stream is representable.
+    void load(std::uint64_t value);
+
+    /// Emit the next output bit and advance the counter one cycle.
+    bool step();
+
+    /// True once 2^M cycles have elapsed since load().
+    [[nodiscard]] bool done() const noexcept { return cycle_ >= length_; }
+
+    /// Convenience: the full stream for `value` (ones-leading thermometer).
+    [[nodiscard]] bitstream generate(std::uint64_t value);
+
+private:
+    unsigned precision_bits_;
+    std::size_t length_;
+    std::uint64_t value_ = 0;
+    std::size_t cycle_ = 0;
+};
+
+/// Pseudo-random (Bernoulli) stochastic stream of `length` bits whose
+/// expected value is `probability`.
+[[nodiscard]] bitstream bernoulli_stream(double probability, std::size_t length,
+                                         xoshiro256ss& rng);
+
+/// Deterministic comparison stream: bit i = (value >= thresholds[i]).
+/// This is the uHD level-hypervector generation rule (paper Fig. 2) when
+/// `thresholds` is one Sobol dimension of length D.
+[[nodiscard]] bitstream threshold_stream(double value, std::span<const double> thresholds);
+
+/// Quantized comparison stream: bit i = (q_value >= q_thresholds[i]) with
+/// both sides already quantized to integer levels; mirrors the unary
+/// comparator datapath exactly (ties resolve to 1, the ">=" semantics).
+[[nodiscard]] bitstream quantized_threshold_stream(std::uint8_t q_value,
+                                                   std::span<const std::uint8_t> q_thresholds);
+
+} // namespace uhd::bs
+
+#endif // UHD_BITSTREAM_GENERATOR_HPP

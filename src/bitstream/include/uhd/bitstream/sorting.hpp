@@ -1,0 +1,47 @@
+// Unary sorting networks (Najafi et al., the paper's reference [16]).
+//
+// Because AND/OR of equally-aligned thermometer streams compute min/max, a
+// compare-and-swap element costs exactly two gates, and any sorting network
+// (here: Batcher's odd-even merge network) sorts a set of unary values with
+// pure combinational logic. This is the classic UBC showcase the paper
+// builds its comparator on, and the median filter below is its standard
+// application.
+#ifndef UHD_BITSTREAM_SORTING_HPP
+#define UHD_BITSTREAM_SORTING_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "uhd/bitstream/unary.hpp"
+
+namespace uhd::bs {
+
+/// One compare-and-swap element: (min, max) via (AND, OR).
+[[nodiscard]] std::pair<bitstream, bitstream> compare_swap(const bitstream& a,
+                                                           const bitstream& b);
+
+/// A wiring stage: the list of (lo, hi) lane pairs compared in parallel.
+using cas_stage = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Batcher odd-even merge sorting network for `lanes` inputs (any size;
+/// non-powers-of-two are padded internally when counting, not when wiring).
+/// Returns the stages in execution order.
+[[nodiscard]] std::vector<cas_stage> odd_even_merge_network(std::size_t lanes);
+
+/// Number of compare-and-swap elements in the network for `lanes` inputs.
+[[nodiscard]] std::size_t network_size(std::size_t lanes);
+
+/// Depth (number of stages) of the network.
+[[nodiscard]] std::size_t network_depth(std::size_t lanes);
+
+/// Sort unary streams ascending by value by running the network.
+/// All streams must share length and alignment.
+[[nodiscard]] std::vector<bitstream> unary_sort(std::vector<bitstream> values);
+
+/// Median of an odd number of unary streams via the sorting network.
+[[nodiscard]] bitstream unary_median(const std::vector<bitstream>& values);
+
+} // namespace uhd::bs
+
+#endif // UHD_BITSTREAM_SORTING_HPP

@@ -1,0 +1,103 @@
+#include "uhd/bitstream/sorting.hpp"
+
+#include <algorithm>
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::bs {
+namespace {
+
+// Batcher's odd-even merge sort, recursive construction over index ranges.
+// Generates compare-and-swap pairs grouped into parallel stages afterwards.
+void merge(std::vector<std::pair<std::size_t, std::size_t>>& pairs, std::size_t lo,
+           std::size_t n, std::size_t r) {
+    const std::size_t step = r * 2;
+    if (step < n) {
+        merge(pairs, lo, n, step);
+        merge(pairs, lo + r, n, step);
+        for (std::size_t i = lo + r; i + r < lo + n; i += step) {
+            pairs.emplace_back(i, i + r);
+        }
+    } else {
+        pairs.emplace_back(lo, lo + r);
+    }
+}
+
+void sort_range(std::vector<std::pair<std::size_t, std::size_t>>& pairs, std::size_t lo,
+                std::size_t n) {
+    if (n <= 1) return;
+    const std::size_t m = n / 2;
+    sort_range(pairs, lo, m);
+    sort_range(pairs, lo + m, n - m);
+    merge(pairs, lo, n, 1);
+}
+
+std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+} // namespace
+
+std::pair<bitstream, bitstream> compare_swap(const bitstream& a, const bitstream& b) {
+    return {a & b, a | b};
+}
+
+std::vector<cas_stage> odd_even_merge_network(std::size_t lanes) {
+    UHD_REQUIRE(lanes >= 1, "network needs at least one lane");
+    // Build on the padded power-of-two index space, then drop comparators
+    // touching padding lanes (padding holds +inf, those CAS are no-ops).
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    sort_range(pairs, 0, next_pow2(lanes));
+    std::vector<std::pair<std::size_t, std::size_t>> kept;
+    for (const auto& [lo, hi] : pairs) {
+        if (lo < lanes && hi < lanes) kept.emplace_back(lo, hi);
+    }
+
+    // Greedy stage packing: a comparator joins the earliest stage where both
+    // lanes are untouched, without reordering dependent comparators.
+    std::vector<cas_stage> stages;
+    std::vector<std::size_t> lane_ready(lanes, 0); // first free stage per lane
+    for (const auto& [lo, hi] : kept) {
+        const std::size_t stage = std::max(lane_ready[lo], lane_ready[hi]);
+        if (stage >= stages.size()) stages.resize(stage + 1);
+        stages[stage].emplace_back(lo, hi);
+        lane_ready[lo] = stage + 1;
+        lane_ready[hi] = stage + 1;
+    }
+    return stages;
+}
+
+std::size_t network_size(std::size_t lanes) {
+    std::size_t count = 0;
+    for (const auto& stage : odd_even_merge_network(lanes)) count += stage.size();
+    return count;
+}
+
+std::size_t network_depth(std::size_t lanes) {
+    return odd_even_merge_network(lanes).size();
+}
+
+std::vector<bitstream> unary_sort(std::vector<bitstream> values) {
+    UHD_REQUIRE(!values.empty(), "nothing to sort");
+    for (const auto& v : values) {
+        UHD_REQUIRE(v.size() == values.front().size(), "stream length mismatch");
+    }
+    for (const auto& stage : odd_even_merge_network(values.size())) {
+        for (const auto& [lo, hi] : stage) {
+            auto [mn, mx] = compare_swap(values[lo], values[hi]);
+            values[lo] = std::move(mn);
+            values[hi] = std::move(mx);
+        }
+    }
+    return values;
+}
+
+bitstream unary_median(const std::vector<bitstream>& values) {
+    UHD_REQUIRE(values.size() % 2 == 1, "median needs an odd count");
+    auto sorted = unary_sort(values);
+    return sorted[sorted.size() / 2];
+}
+
+} // namespace uhd::bs

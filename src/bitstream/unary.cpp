@@ -1,0 +1,64 @@
+#include "uhd/bitstream/unary.hpp"
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::bs {
+
+bitstream unary_encode(std::size_t value, std::size_t length, unary_alignment align) {
+    UHD_REQUIRE(value <= length, "unary value exceeds stream length");
+    bitstream out(length);
+    if (align == unary_alignment::ones_leading) {
+        for (std::size_t i = 0; i < value; ++i) out.set_bit(i, true);
+    } else {
+        for (std::size_t i = 0; i < value; ++i) out.set_bit(length - 1 - i, true);
+    }
+    return out;
+}
+
+bool is_unary(const bitstream& stream, unary_alignment align) {
+    const std::size_t n = stream.size();
+    const std::size_t v = stream.popcount();
+    if (v == 0) return true;
+    if (align == unary_alignment::ones_leading) {
+        // The run of ones must occupy positions [0, v).
+        return stream.bit(v - 1) && (v == n || !stream.bit(v));
+    }
+    // ones_trailing: the run of ones must occupy positions [n - v, n).
+    return stream.bit(n - v) && (v == n || !stream.bit(n - v - 1));
+}
+
+std::size_t unary_decode(const bitstream& stream, unary_alignment align) {
+    UHD_REQUIRE(is_unary(stream, align), "stream is not a valid thermometer code");
+    return stream.popcount();
+}
+
+bitstream unary_min(const bitstream& a, const bitstream& b) { return a & b; }
+
+bitstream unary_max(const bitstream& a, const bitstream& b) { return a | b; }
+
+bool unary_compare_geq(const bitstream& a, const bitstream& b) {
+    UHD_REQUIRE(a.size() == b.size(), "unary comparator inputs must have equal length");
+    // Fig. 4: minimum via AND, then OR with the inverted second operand.
+    // If b is the minimum (b <= a), every bit where b is 1 survives in the
+    // AND, so (min OR NOT b) is all-1s and the final N-input AND emits 1.
+    const bitstream minimum = a & b;
+    const bitstream check = minimum | ~b;
+    return check.all();
+}
+
+bitstream unary_saturating_add(const bitstream& a, const bitstream& b, unary_alignment align) {
+    UHD_REQUIRE(a.size() == b.size(), "unary add inputs must have equal length");
+    const std::size_t va = unary_decode(a, align);
+    const std::size_t vb = unary_decode(b, align);
+    const std::size_t n = a.size();
+    const std::size_t sum = va + vb > n ? n : va + vb;
+    return unary_encode(sum, n, align);
+}
+
+std::size_t unary_abs_diff(const bitstream& a, const bitstream& b) {
+    UHD_REQUIRE(a.size() == b.size(), "unary diff inputs must have equal length");
+    // Equally aligned thermometer codes differ exactly on |va - vb| positions.
+    return (a ^ b).popcount();
+}
+
+} // namespace uhd::bs

@@ -1,0 +1,27 @@
+#include "uhd/common/alloc_ledger.hpp"
+
+#include <algorithm>
+
+namespace uhd {
+
+void alloc_ledger::add(std::string label, std::size_t bytes) {
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const auto& e) { return e.first == label; });
+    if (it != entries_.end()) {
+        it->second += bytes;
+    } else {
+        entries_.emplace_back(std::move(label), bytes);
+    }
+}
+
+std::size_t alloc_ledger::total_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& e : entries_) total += e.second;
+    return total;
+}
+
+std::size_t alloc_ledger::total_kib() const noexcept {
+    return (total_bytes() + 1023) / 1024;
+}
+
+} // namespace uhd

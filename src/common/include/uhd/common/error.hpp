@@ -1,0 +1,42 @@
+// Error handling: a single exception type for precondition and runtime
+// failures, plus UHD_REQUIRE for validating public-API arguments.
+//
+// Following the C++ Core Guidelines (E.2, I.5): interfaces state and check
+// preconditions; violations throw rather than proceed with garbage.
+#ifndef UHD_COMMON_ERROR_HPP
+#define UHD_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace uhd {
+
+/// Exception thrown on precondition violations and invalid configurations.
+class error : public std::runtime_error {
+public:
+    explicit error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr, const char* file,
+                                                   int line, const std::string& msg) {
+    std::ostringstream os;
+    os << "requirement failed: (" << expr << ") at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw uhd::error(os.str());
+}
+
+} // namespace detail
+} // namespace uhd
+
+/// Validate a public-API precondition; throws uhd::error when violated.
+#define UHD_REQUIRE(expr, msg)                                                        \
+    do {                                                                              \
+        if (!(expr)) {                                                                \
+            ::uhd::detail::throw_requirement_failure(#expr, __FILE__, __LINE__, msg); \
+        }                                                                             \
+    } while (false)
+
+#endif // UHD_COMMON_ERROR_HPP

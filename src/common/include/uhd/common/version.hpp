@@ -1,0 +1,16 @@
+// Library version constants.
+#ifndef UHD_COMMON_VERSION_HPP
+#define UHD_COMMON_VERSION_HPP
+
+namespace uhd {
+
+inline constexpr int version_major = 1;
+inline constexpr int version_minor = 0;
+inline constexpr int version_patch = 0;
+
+/// Human-readable version string of the uHD library.
+inline constexpr const char* version_string = "1.0.0";
+
+} // namespace uhd
+
+#endif // UHD_COMMON_VERSION_HPP

@@ -1,0 +1,142 @@
+#include "uhd/core/encoder.hpp"
+
+#include <cmath>
+
+#include "uhd/bitstream/unary.hpp"
+#include "uhd/common/error.hpp"
+
+namespace uhd::core {
+
+uhd_encoder::uhd_encoder(const uhd_config& config, data::image_shape shape)
+    : uhd_encoder(config, shape,
+                  ld::quantized_sobol_bank(
+                      ld::sobol_directions::standard(shape.pixels(), config.sobol_seed),
+                      shape.pixels(), config.dim, config.quant_levels,
+                      config.scramble ? config.sobol_seed : 0)) {}
+
+uhd_encoder::uhd_encoder(const uhd_config& config, data::image_shape shape,
+                         ld::quantized_sobol_bank custom_bank)
+    : config_(config),
+      shape_(shape),
+      directions_(ld::sobol_directions::standard(shape.pixels(), config.sobol_seed)),
+      bank_(std::move(custom_bank)),
+      ust_(config.quant_levels, config.stream_length()) {
+    UHD_REQUIRE(config.dim >= 64, "dimension too small to be hyperdimensional");
+    UHD_REQUIRE(shape.channels == 1, "uHD encoder expects grayscale images");
+    UHD_REQUIRE(bank_.dims() == shape.pixels() && bank_.samples() == config.dim &&
+                    bank_.levels() == config.quant_levels,
+                "threshold bank geometry does not match the configuration");
+
+    // Per-pixel threshold CDF: how many of the pixel's D thresholds a given
+    // quantized intensity reaches. Used for exact mean-centering.
+    const unsigned xi = config_.quant_levels;
+    cdf_counts_.assign(shape_.pixels() * xi, 0);
+    for (std::size_t p = 0; p < shape_.pixels(); ++p) {
+        std::uint32_t* cdf = cdf_counts_.data() + p * xi;
+        for (const std::uint8_t s : bank_.row(p)) ++cdf[s];
+        for (unsigned q = 1; q < xi; ++q) cdf[q] += cdf[q - 1];
+    }
+}
+
+std::int32_t uhd_encoder::doubled_threshold(std::span<const std::uint8_t> image) const {
+    UHD_REQUIRE(image.size() == shape_.pixels(), "image size mismatch");
+    if (config_.policy == binarize_policy::half_inputs) {
+        return static_cast<std::int32_t>(image.size()); // 2 * (H/2)
+    }
+    // mean_intensity: TOB = sum_p #{d : q_p >= S_p[d]} / D — the exact mean
+    // of the per-dimension popcounts, read from the per-pixel CDF tables.
+    const unsigned xi = config_.quant_levels;
+    std::int64_t reach_sum = 0;
+    for (std::size_t p = 0; p < image.size(); ++p) {
+        const std::uint8_t q = quantize_intensity(image[p]);
+        reach_sum += cdf_counts_[p * xi + q];
+    }
+    const std::int64_t d = static_cast<std::int64_t>(config_.dim);
+    return static_cast<std::int32_t>((2 * reach_sum + d / 2) / d);
+}
+
+void uhd_encoder::encode(std::span<const std::uint8_t> image,
+                         std::span<std::int32_t> out) const {
+    UHD_REQUIRE(image.size() == shape_.pixels(), "image size mismatch");
+    UHD_REQUIRE(out.size() == config_.dim, "output accumulator size mismatch");
+
+    // geq[d] counts pixels whose quantized intensity reaches the threshold;
+    // the centered bundle is 2 * geq - 2 * TOB (see doubled_threshold).
+    std::vector<std::uint16_t> geq(config_.dim, 0);
+    for (std::size_t p = 0; p < image.size(); ++p) {
+        const std::uint8_t q = quantize_intensity(image[p]);
+        const std::uint8_t* row = bank_.row(p).data();
+        for (std::size_t d = 0; d < config_.dim; ++d) {
+            geq[d] = static_cast<std::uint16_t>(geq[d] + (q >= row[d]));
+        }
+    }
+    const std::int32_t tau2 = doubled_threshold(image);
+    for (std::size_t d = 0; d < config_.dim; ++d) {
+        out[d] = 2 * static_cast<std::int32_t>(geq[d]) - tau2;
+    }
+}
+
+void uhd_encoder::encode_unary(std::span<const std::uint8_t> image,
+                               std::span<std::int32_t> out) const {
+    UHD_REQUIRE(image.size() == shape_.pixels(), "image size mismatch");
+    UHD_REQUIRE(out.size() == config_.dim, "output accumulator size mismatch");
+
+    std::vector<std::int32_t> ones(config_.dim, 0);
+    for (std::size_t p = 0; p < image.size(); ++p) {
+        // Fetch the intensity's unary stream from the UST (Fig. 3(c))...
+        const bs::bitstream& data_stream = ust_.fetch(quantize_intensity(image[p]));
+        const std::uint8_t* row = bank_.row(p).data();
+        for (std::size_t d = 0; d < config_.dim; ++d) {
+            // ...and the Sobol scalar's stream, then run the Fig. 4 comparator.
+            const bs::bitstream& sobol_stream = ust_.fetch(row[d]);
+            if (bs::unary_compare_geq(data_stream, sobol_stream)) ++ones[d];
+        }
+    }
+    const std::int32_t tau2 = doubled_threshold(image);
+    for (std::size_t d = 0; d < config_.dim; ++d) out[d] = 2 * ones[d] - tau2;
+}
+
+void uhd_encoder::encode_exact(std::span<const std::uint8_t> image,
+                               std::span<std::int32_t> out) const {
+    UHD_REQUIRE(image.size() == shape_.pixels(), "image size mismatch");
+    UHD_REQUIRE(out.size() == config_.dim, "output accumulator size mismatch");
+
+    std::vector<std::int32_t> ones(config_.dim, 0);
+    for (std::size_t p = 0; p < image.size(); ++p) {
+        const double x = static_cast<double>(image[p]) / 255.0;
+        ld::sobol_sequence seq(directions_.direction_numbers(p));
+        const std::uint32_t shift =
+            config_.scramble ? static_cast<std::uint32_t>(
+                                   hash64(config_.sobol_seed ^ (0x9e3779b9ULL * (p + 1))))
+                             : 0u;
+        for (std::size_t d = 0; d < config_.dim; ++d) {
+            const std::uint32_t fraction = seq.next_fraction() ^ shift;
+            if (x >= ld::sobol_sequence::fraction_to_unit(fraction)) ++ones[d];
+        }
+    }
+    // Same centering as encode(): the empirical per-dimension mean popcount.
+    std::int64_t total = 0;
+    for (const std::int32_t v : ones) total += v;
+    const std::int64_t dims = static_cast<std::int64_t>(config_.dim);
+    const std::int32_t tau2 =
+        config_.policy == binarize_policy::half_inputs
+            ? static_cast<std::int32_t>(image.size())
+            : static_cast<std::int32_t>((2 * total + dims / 2) / dims);
+    for (std::size_t d = 0; d < config_.dim; ++d) out[d] = 2 * ones[d] - tau2;
+}
+
+hdc::hypervector uhd_encoder::encode_sign(std::span<const std::uint8_t> image) const {
+    std::vector<std::int32_t> acc(config_.dim);
+    encode(image, acc);
+    bs::bitstream bits(config_.dim);
+    for (std::size_t d = 0; d < config_.dim; ++d) {
+        if (acc[d] < 0) bits.set_bit(d, true); // bit 1 = -1
+    }
+    return hdc::hypervector(std::move(bits));
+}
+
+std::size_t uhd_encoder::memory_bytes() const noexcept {
+    return bank_.memory_bytes() + ust_.memory_bytes() + directions_.memory_bytes();
+}
+
+} // namespace uhd::core

@@ -1,0 +1,64 @@
+// Configuration of the uHD system (paper Section III).
+#ifndef UHD_CORE_CONFIG_HPP
+#define UHD_CORE_CONFIG_HPP
+
+#include <cstdint>
+
+#include "uhd/lowdisc/sobol.hpp"
+
+namespace uhd::core {
+
+/// Where the binarization threshold (TOB, Fig. 5) is placed.
+///
+/// * half_inputs — the paper's literal TOB = H/2 rule. Without position
+///   binding, the per-dimension popcount concentrates around
+///   (mean intensity) * H, so for dark images (MNIST-like) every dimension
+///   falls on the same side of H/2 and the representation collapses.
+/// * mean_intensity — TOB equals the image's expected popcount
+///   sum_p (q_p + 1) / xi, centering the comparison. This matches the
+///   paper's own Fig. 2, whose accumulated values hover around zero
+///   (-23, -45, +92) — only possible with an intensity-centered threshold —
+///   and is equally hardware-friendly: the threshold register is loaded
+///   with a popcount of the fetched unary data streams instead of a
+///   hard-wired constant. Default, and the configuration that reproduces
+///   the paper's accuracy behaviour.
+enum class binarize_policy {
+    half_inputs,
+    mean_intensity,
+};
+
+/// Parameters of the uHD encoder.
+struct uhd_config {
+    /// Hypervector dimension D (the paper sweeps 1K, 2K, 8K, 10K).
+    std::size_t dim = 1024;
+
+    /// Quantization levels xi for both intensities and Sobol scalars
+    /// (xi = 16 -> M = 4-bit storage, N = 16-bit unary streams; Fig. 3(a)).
+    unsigned quant_levels = 16;
+
+    /// Threshold-of-binarization placement (see binarize_policy).
+    binarize_policy policy = binarize_policy::mean_intensity;
+
+    /// Apply a deterministic per-pixel digital shift to the Sobol bank.
+    /// Decorrelates pixel sequences the way Joe–Kuo property-A
+    /// initialization does for MATLAB's generator; still fully
+    /// deterministic and single-iteration (see quantized_sobol_bank).
+    bool scramble = true;
+
+    /// Seed of the Sobol direction-number table (deterministic default).
+    std::uint64_t sobol_seed = ld::sobol_directions::default_seed;
+
+    /// Unary stream length N; equals quant_levels in the paper's design.
+    [[nodiscard]] std::size_t stream_length() const noexcept { return quant_levels; }
+
+    /// Bits per stored scalar, M = log2(xi), rounded up.
+    [[nodiscard]] unsigned scalar_bits() const noexcept {
+        unsigned bits = 0;
+        while ((1u << bits) < quant_levels) ++bits;
+        return bits;
+    }
+};
+
+} // namespace uhd::core
+
+#endif // UHD_CORE_CONFIG_HPP

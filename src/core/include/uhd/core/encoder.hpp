@@ -1,0 +1,130 @@
+// The uHD encoder — the paper's primary contribution (Fig. 2 + Fig. 3).
+//
+// Position hypervectors are eliminated: pixel p is encoded with its *own*
+// Sobol dimension S_p (the sequence index carries the position), and the
+// level hypervector is the comparison stream
+//
+//     L_p[d] = +1  iff  x_p >= S_p[d]
+//
+// so the whole image encodes as the multiplier-less bundle
+// acc[d] = sum_p L_p[d]. Both intensities and Sobol scalars are quantized to
+// xi = 16 levels and represented as N = 16-bit unary streams; comparison is
+// done with the Fig. 4 unary comparator (>= semantics, which resolves
+// quantization ties to +1 — the "flipped bits" the paper argues are
+// harmless).
+//
+// Three equivalent encode paths are provided:
+//  * encode()        — fast quantized integer comparison (production path)
+//  * encode_unary()  — UST fetch + gate-faithful unary comparator (the
+//                      hardware datapath, used for equivalence tests)
+//  * encode_exact()  — unquantized double comparison (reference for the
+//                      quantization-error ablation)
+// encode() and encode_unary() are bit-identical by construction; tests
+// enforce it.
+#ifndef UHD_CORE_ENCODER_HPP
+#define UHD_CORE_ENCODER_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "uhd/bitstream/stream_table.hpp"
+#include "uhd/core/config.hpp"
+#include "uhd/data/dataset.hpp"
+#include "uhd/hdc/hypervector.hpp"
+#include "uhd/lowdisc/sobol.hpp"
+
+namespace uhd::core {
+
+/// Sobol-index-embedding level encoder (no position hypervectors).
+class uhd_encoder {
+public:
+    /// Build the quantized Sobol bank (the BRAM of Fig. 3(a)) and the unary
+    /// stream table for images of `shape`.
+    uhd_encoder(const uhd_config& config, data::image_shape shape);
+
+    /// Build with an externally supplied threshold bank (pixels x dim rows,
+    /// values < config.quant_levels). This is the hook for the sequence-
+    /// family ablation: identical datapath, different threshold source.
+    /// The bank replaces the Sobol one; encode_exact() remains Sobol-based.
+    uhd_encoder(const uhd_config& config, data::image_shape shape,
+                ld::quantized_sobol_bank custom_bank);
+
+    /// Hypervector dimension D.
+    [[nodiscard]] std::size_t dim() const noexcept { return config_.dim; }
+
+    /// Pixel count H.
+    [[nodiscard]] std::size_t pixels() const noexcept { return shape_.pixels(); }
+
+    /// Image shape this encoder was built for.
+    [[nodiscard]] const data::image_shape& shape() const noexcept { return shape_; }
+
+    /// Active configuration.
+    [[nodiscard]] const uhd_config& config() const noexcept { return config_; }
+
+    /// Quantize an 8-bit intensity to xi levels (shared by all paths).
+    [[nodiscard]] std::uint8_t quantize_intensity(std::uint8_t intensity) const noexcept {
+        return ld::quantize_unit(static_cast<double>(intensity) / 255.0,
+                                 config_.quant_levels);
+    }
+
+    /// Fast path. With the default mean_intensity policy,
+    /// out[d] = 2 * ones[d] - 2 * TOB(image) where ones[d] counts pixels
+    /// with q(x_p) >= q(S_p[d]) and TOB is the image's expected popcount;
+    /// with half_inputs, out[d] = 2 * ones[d] - H (the bipolar bundle
+    /// sum_p L_p[d]). sign(out[d]) is the Fig. 5 class-hypervector bit.
+    void encode(std::span<const std::uint8_t> image, std::span<std::int32_t> out) const;
+
+    /// The doubled binarization threshold 2*TOB used by encode() for this
+    /// image under the configured policy (exposed for tests and the
+    /// datapath simulator).
+    [[nodiscard]] std::int32_t doubled_threshold(
+        std::span<const std::uint8_t> image) const;
+
+    /// Hardware path: UST fetch + Fig. 4 unary comparator per (pixel, dim).
+    /// Bit-identical to encode(); O(H * D * N) — use small D in tests.
+    void encode_unary(std::span<const std::uint8_t> image,
+                      std::span<std::int32_t> out) const;
+
+    /// Reference path without quantization: compares x_p/255 >= S_p[d] in
+    /// double precision (regenerates Sobol scalars on the fly).
+    void encode_exact(std::span<const std::uint8_t> image,
+                      std::span<std::int32_t> out) const;
+
+    /// Encode and binarize (the image hypervector of Fig. 5).
+    [[nodiscard]] hdc::hypervector encode_sign(std::span<const std::uint8_t> image) const;
+
+    /// The quantized Sobol thresholds of pixel `p` (BRAM row).
+    [[nodiscard]] std::span<const std::uint8_t> sobol_row(std::size_t p) const {
+        return bank_.row(p);
+    }
+
+    /// The unary stream table (Fig. 3(c)).
+    [[nodiscard]] const bs::unary_stream_table& stream_table() const noexcept {
+        return ust_;
+    }
+
+    /// Direction-number table backing the Sobol bank.
+    [[nodiscard]] const ld::sobol_directions& directions() const noexcept {
+        return directions_;
+    }
+
+    /// Heap footprint: quantized Sobol bank + UST + direction table — the
+    /// uHD dynamic-memory term in Table I.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+private:
+    uhd_config config_;
+    data::image_shape shape_;
+    ld::sobol_directions directions_;
+    ld::quantized_sobol_bank bank_;
+    bs::unary_stream_table ust_;
+    // cdf_counts_[p * xi + q] = #{d : bank.row(p)[d] <= q}; makes the
+    // mean_intensity TOB the exact per-dimension mean of the popcounts
+    // (one small popcount table per pixel, Fig. 3(a)'s BRAM sidecar).
+    std::vector<std::uint32_t> cdf_counts_;
+};
+
+} // namespace uhd::core
+
+#endif // UHD_CORE_ENCODER_HPP

@@ -1,0 +1,83 @@
+// Trained uHD classification model with serialization.
+//
+// A model bundles the deterministic encoder configuration with the trained
+// class hypervectors. Because uHD's encoder is fully deterministic (Sobol
+// directions from a seed — no iterative search), only the configuration and
+// the class vectors need to be stored; the Sobol bank is rebuilt on load.
+#ifndef UHD_CORE_MODEL_HPP
+#define UHD_CORE_MODEL_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "uhd/core/encoder.hpp"
+#include "uhd/data/metrics.hpp"
+#include "uhd/hdc/classifier.hpp"
+
+namespace uhd::core {
+
+/// End-to-end uHD classifier: encoder + single-pass centroid model.
+class uhd_model {
+public:
+    /// Untrained model for `classes` classes over images of `shape`.
+    /// Defaults follow the paper's uHD formulation: non-binary Sigma L_i
+    /// accumulation (raw sums) with integer-cosine inference.
+    uhd_model(const uhd_config& config, data::image_shape shape, std::size_t classes,
+              hdc::train_mode mode = hdc::train_mode::raw_sums,
+              hdc::query_mode inference = hdc::query_mode::integer);
+
+    /// Train on a dataset in one pass and return the model.
+    [[nodiscard]] static uhd_model train(const uhd_config& config,
+                                         const data::dataset& train_set,
+                                         hdc::train_mode mode = hdc::train_mode::raw_sums,
+                                         hdc::query_mode inference =
+                                             hdc::query_mode::integer);
+
+    /// Single-pass fit (may be called once on a fresh model).
+    void fit(const data::dataset& train_set);
+
+    /// Online update with one labeled image (dynamic training).
+    void partial_fit(std::span<const std::uint8_t> image, std::size_t label);
+
+    /// Predicted class of one image.
+    [[nodiscard]] std::size_t predict(std::span<const std::uint8_t> image) const;
+
+    /// Accuracy over a dataset; optionally fills a confusion matrix.
+    [[nodiscard]] double evaluate(const data::dataset& test,
+                                  data::confusion_matrix* matrix = nullptr) const;
+
+    /// AdaptHD-style retraining extension (see hdc::hd_classifier::retrain).
+    std::size_t retrain(const data::dataset& train_set, std::size_t epochs);
+
+    [[nodiscard]] const uhd_encoder& encoder() const noexcept { return encoder_; }
+    [[nodiscard]] std::size_t classes() const noexcept { return classifier_.classes(); }
+    [[nodiscard]] const hdc::hypervector& class_hypervector(std::size_t c) const {
+        return classifier_.class_hypervector(c);
+    }
+
+    /// Serialize to a binary stream (magic 'uHDm', versioned).
+    void save(std::ostream& os) const;
+
+    /// Save to a file path; throws on I/O failure.
+    void save_file(const std::string& path) const;
+
+    /// Deserialize a model previously written by save().
+    [[nodiscard]] static uhd_model load(std::istream& is);
+
+    /// Load from a file path; throws on I/O failure.
+    [[nodiscard]] static uhd_model load_file(const std::string& path);
+
+    /// Heap footprint of encoder tables + class vectors.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return encoder_.memory_bytes() + classifier_.memory_bytes();
+    }
+
+private:
+    uhd_encoder encoder_;
+    hdc::hd_classifier<uhd_encoder> classifier_;
+};
+
+} // namespace uhd::core
+
+#endif // UHD_CORE_MODEL_HPP

@@ -1,0 +1,107 @@
+#include "uhd/core/model.hpp"
+
+#include <fstream>
+
+#include "uhd/common/error.hpp"
+#include "uhd/common/io.hpp"
+
+namespace uhd::core {
+namespace {
+
+constexpr std::uint32_t model_magic = 0x6d444875u; // "uHDm" little-endian
+constexpr std::uint32_t model_version = 1;
+
+} // namespace
+
+uhd_model::uhd_model(const uhd_config& config, data::image_shape shape,
+                     std::size_t classes, hdc::train_mode mode,
+                     hdc::query_mode inference)
+    : encoder_(config, shape), classifier_(encoder_, classes, mode, inference) {}
+
+uhd_model uhd_model::train(const uhd_config& config, const data::dataset& train_set,
+                           hdc::train_mode mode, hdc::query_mode inference) {
+    UHD_REQUIRE(!train_set.empty(), "training set is empty");
+    uhd_model model(config, train_set.shape(), train_set.num_classes(), mode, inference);
+    model.fit(train_set);
+    return model;
+}
+
+void uhd_model::fit(const data::dataset& train_set) { classifier_.fit(train_set); }
+
+void uhd_model::partial_fit(std::span<const std::uint8_t> image, std::size_t label) {
+    classifier_.partial_fit(image, label);
+}
+
+std::size_t uhd_model::predict(std::span<const std::uint8_t> image) const {
+    return classifier_.predict(image);
+}
+
+double uhd_model::evaluate(const data::dataset& test,
+                           data::confusion_matrix* matrix) const {
+    return classifier_.evaluate(test, matrix);
+}
+
+std::size_t uhd_model::retrain(const data::dataset& train_set, std::size_t epochs) {
+    return classifier_.retrain(train_set, epochs);
+}
+
+void uhd_model::save(std::ostream& os) const {
+    io::write_header(os, model_magic, model_version);
+    const uhd_config& cfg = encoder_.config();
+    io::write_u64(os, cfg.dim);
+    io::write_u32(os, cfg.quant_levels);
+    io::write_u64(os, cfg.sobol_seed);
+    io::write_u64(os, encoder_.shape().rows);
+    io::write_u64(os, encoder_.shape().cols);
+    io::write_u64(os, encoder_.shape().channels);
+    io::write_u64(os, classifier_.classes());
+    io::write_u32(os, classifier_.mode() == hdc::train_mode::raw_sums ? 1u : 0u);
+    io::write_u32(os, classifier_.inference() == hdc::query_mode::integer ? 1u : 0u);
+    for (std::size_t c = 0; c < classifier_.classes(); ++c) {
+        const auto values = classifier_.class_accumulator(c).values();
+        io::write_pod_vector(os, std::vector<std::int32_t>(values.begin(), values.end()));
+    }
+}
+
+void uhd_model::save_file(const std::string& path) const {
+    std::ofstream os(path, std::ios::binary);
+    UHD_REQUIRE(os.good(), "cannot open model file for writing: " + path);
+    save(os);
+}
+
+uhd_model uhd_model::load(std::istream& is) {
+    io::read_header(is, model_magic, model_version);
+    uhd_config cfg;
+    cfg.dim = static_cast<std::size_t>(io::read_u64(is));
+    cfg.quant_levels = io::read_u32(is);
+    cfg.sobol_seed = io::read_u64(is);
+    data::image_shape shape;
+    shape.rows = static_cast<std::size_t>(io::read_u64(is));
+    shape.cols = static_cast<std::size_t>(io::read_u64(is));
+    shape.channels = static_cast<std::size_t>(io::read_u64(is));
+    const std::size_t classes = static_cast<std::size_t>(io::read_u64(is));
+    const hdc::train_mode mode = io::read_u32(is) == 1u ? hdc::train_mode::raw_sums
+                                                        : hdc::train_mode::binarized_images;
+    const hdc::query_mode inference = io::read_u32(is) == 1u ? hdc::query_mode::integer
+                                                             : hdc::query_mode::binarized;
+    uhd_model model(cfg, shape, classes, mode, inference);
+    std::vector<hdc::accumulator> accumulators;
+    accumulators.reserve(classes);
+    for (std::size_t c = 0; c < classes; ++c) {
+        const auto values = io::read_pod_vector<std::int32_t>(is);
+        UHD_REQUIRE(values.size() == cfg.dim, "model file accumulator size mismatch");
+        hdc::accumulator acc(cfg.dim);
+        for (std::size_t d = 0; d < values.size(); ++d) acc.values()[d] = values[d];
+        accumulators.push_back(std::move(acc));
+    }
+    model.classifier_.load_state(std::move(accumulators));
+    return model;
+}
+
+uhd_model uhd_model::load_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    UHD_REQUIRE(is.good(), "cannot open model file for reading: " + path);
+    return load(is);
+}
+
+} // namespace uhd::core

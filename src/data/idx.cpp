@@ -1,0 +1,69 @@
+#include "uhd/data/idx.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::data {
+namespace {
+
+std::uint32_t read_be32(std::istream& is) {
+    unsigned char bytes[4];
+    is.read(reinterpret_cast<char*>(bytes), 4);
+    UHD_REQUIRE(is.gcount() == 4, "IDX file truncated");
+    return (std::uint32_t{bytes[0]} << 24) | (std::uint32_t{bytes[1]} << 16) |
+           (std::uint32_t{bytes[2]} << 8) | std::uint32_t{bytes[3]};
+}
+
+} // namespace
+
+dataset load_idx(const std::string& images_path, const std::string& labels_path,
+                 std::size_t num_classes) {
+    std::ifstream images(images_path, std::ios::binary);
+    UHD_REQUIRE(images.good(), "cannot open IDX image file: " + images_path);
+    std::ifstream labels(labels_path, std::ios::binary);
+    UHD_REQUIRE(labels.good(), "cannot open IDX label file: " + labels_path);
+
+    const std::uint32_t image_magic = read_be32(images);
+    UHD_REQUIRE(image_magic == 0x00000803u, "bad IDX3 magic in " + images_path);
+    const std::uint32_t count = read_be32(images);
+    const std::uint32_t rows = read_be32(images);
+    const std::uint32_t cols = read_be32(images);
+
+    const std::uint32_t label_magic = read_be32(labels);
+    UHD_REQUIRE(label_magic == 0x00000801u, "bad IDX1 magic in " + labels_path);
+    const std::uint32_t label_count = read_be32(labels);
+    UHD_REQUIRE(count == label_count, "IDX image/label count mismatch");
+
+    dataset out(image_shape{rows, cols, 1}, num_classes);
+    std::vector<std::uint8_t> pixel_buffer(static_cast<std::size_t>(rows) * cols);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        images.read(reinterpret_cast<char*>(pixel_buffer.data()),
+                    static_cast<std::streamsize>(pixel_buffer.size()));
+        UHD_REQUIRE(images.gcount() == static_cast<std::streamsize>(pixel_buffer.size()),
+                    "IDX image data truncated");
+        char label_byte = 0;
+        labels.read(&label_byte, 1);
+        UHD_REQUIRE(labels.gcount() == 1, "IDX label data truncated");
+        out.add(pixel_buffer, static_cast<std::size_t>(static_cast<unsigned char>(label_byte)));
+    }
+    return out;
+}
+
+std::optional<std::pair<dataset, dataset>> try_load_mnist(const std::string& directory) {
+    namespace fs = std::filesystem;
+    const fs::path dir(directory);
+    const fs::path train_images = dir / "train-images-idx3-ubyte";
+    const fs::path train_labels = dir / "train-labels-idx1-ubyte";
+    const fs::path test_images = dir / "t10k-images-idx3-ubyte";
+    const fs::path test_labels = dir / "t10k-labels-idx1-ubyte";
+    if (!fs::exists(train_images) || !fs::exists(train_labels) ||
+        !fs::exists(test_images) || !fs::exists(test_labels)) {
+        return std::nullopt;
+    }
+    return std::make_pair(load_idx(train_images.string(), train_labels.string()),
+                          load_idx(test_images.string(), test_labels.string()));
+}
+
+} // namespace uhd::data

@@ -1,0 +1,31 @@
+// IDX file reader for the original MNIST distribution format.
+//
+// The synthetic MNIST analogue is the default in this offline environment
+// (DESIGN.md §4.2); when the canonical IDX files exist under a directory
+// (train-images-idx3-ubyte / train-labels-idx1-ubyte / t10k-...), the bench
+// harnesses call try_load_mnist() and use the real data automatically.
+#ifndef UHD_DATA_IDX_HPP
+#define UHD_DATA_IDX_HPP
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "uhd/data/dataset.hpp"
+
+namespace uhd::data {
+
+/// Parse an IDX3 (images) + IDX1 (labels) pair into a dataset.
+/// Throws uhd::error on malformed files or count mismatch.
+[[nodiscard]] dataset load_idx(const std::string& images_path,
+                               const std::string& labels_path,
+                               std::size_t num_classes = 10);
+
+/// Load the standard MNIST train/test pairs from `directory` if present.
+/// Returns std::nullopt when any of the four files is missing.
+[[nodiscard]] std::optional<std::pair<dataset, dataset>> try_load_mnist(
+    const std::string& directory);
+
+} // namespace uhd::data
+
+#endif // UHD_DATA_IDX_HPP

@@ -1,0 +1,55 @@
+// Classification quality metrics for the accuracy tables (Tables IV, V).
+#ifndef UHD_DATA_METRICS_HPP
+#define UHD_DATA_METRICS_HPP
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace uhd::data {
+
+/// Square confusion matrix over `classes` labels.
+class confusion_matrix {
+public:
+    explicit confusion_matrix(std::size_t classes);
+
+    /// Record one (truth, prediction) pair.
+    void record(std::size_t truth, std::size_t predicted);
+
+    [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+
+    /// Count of samples with true label `truth` predicted as `predicted`.
+    [[nodiscard]] std::size_t count(std::size_t truth, std::size_t predicted) const;
+
+    /// Total recorded samples.
+    [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+    /// Overall accuracy in [0, 1]; 0 when no samples recorded.
+    [[nodiscard]] double accuracy() const noexcept;
+
+    /// Recall of one class (diagonal / row sum); 0 for empty rows.
+    [[nodiscard]] double recall(std::size_t truth) const;
+
+    /// Precision of one class (diagonal / column sum); 0 for empty columns.
+    [[nodiscard]] double precision(std::size_t predicted) const;
+
+    /// Macro-averaged F1 score across classes.
+    [[nodiscard]] double macro_f1() const;
+
+    /// Multi-line human-readable rendering.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::size_t classes_;
+    std::size_t total_ = 0;
+    std::vector<std::size_t> cells_; // row-major truth x predicted
+};
+
+/// Accuracy of parallel truth/prediction vectors (must be equally long).
+[[nodiscard]] double accuracy_of(std::span<const std::size_t> truth,
+                                 std::span<const std::size_t> predicted);
+
+} // namespace uhd::data
+
+#endif // UHD_DATA_METRICS_HPP

@@ -1,0 +1,86 @@
+#include "uhd/data/metrics.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::data {
+
+confusion_matrix::confusion_matrix(std::size_t classes)
+    : classes_(classes), cells_(classes * classes, 0) {
+    UHD_REQUIRE(classes >= 2, "confusion matrix needs at least two classes");
+}
+
+void confusion_matrix::record(std::size_t truth, std::size_t predicted) {
+    UHD_REQUIRE(truth < classes_ && predicted < classes_, "label out of range");
+    ++cells_[truth * classes_ + predicted];
+    ++total_;
+}
+
+std::size_t confusion_matrix::count(std::size_t truth, std::size_t predicted) const {
+    UHD_REQUIRE(truth < classes_ && predicted < classes_, "label out of range");
+    return cells_[truth * classes_ + predicted];
+}
+
+double confusion_matrix::accuracy() const noexcept {
+    if (total_ == 0) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t c = 0; c < classes_; ++c) correct += cells_[c * classes_ + c];
+    return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double confusion_matrix::recall(std::size_t truth) const {
+    UHD_REQUIRE(truth < classes_, "label out of range");
+    std::size_t row_sum = 0;
+    for (std::size_t p = 0; p < classes_; ++p) row_sum += cells_[truth * classes_ + p];
+    if (row_sum == 0) return 0.0;
+    return static_cast<double>(cells_[truth * classes_ + truth]) /
+           static_cast<double>(row_sum);
+}
+
+double confusion_matrix::precision(std::size_t predicted) const {
+    UHD_REQUIRE(predicted < classes_, "label out of range");
+    std::size_t col_sum = 0;
+    for (std::size_t t = 0; t < classes_; ++t) col_sum += cells_[t * classes_ + predicted];
+    if (col_sum == 0) return 0.0;
+    return static_cast<double>(cells_[predicted * classes_ + predicted]) /
+           static_cast<double>(col_sum);
+}
+
+double confusion_matrix::macro_f1() const {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < classes_; ++c) {
+        const double p = precision(c);
+        const double r = recall(c);
+        sum += (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+    }
+    return sum / static_cast<double>(classes_);
+}
+
+std::string confusion_matrix::to_string() const {
+    std::ostringstream os;
+    os << "confusion matrix (rows = truth, cols = predicted):\n";
+    for (std::size_t t = 0; t < classes_; ++t) {
+        for (std::size_t p = 0; p < classes_; ++p) {
+            os << std::setw(6) << cells_[t * classes_ + p];
+        }
+        os << '\n';
+    }
+    os << "accuracy: " << std::fixed << std::setprecision(4) << accuracy()
+       << "  macro-F1: " << macro_f1() << '\n';
+    return os.str();
+}
+
+double accuracy_of(std::span<const std::size_t> truth,
+                   std::span<const std::size_t> predicted) {
+    UHD_REQUIRE(truth.size() == predicted.size(), "prediction count mismatch");
+    UHD_REQUIRE(!truth.empty(), "accuracy of empty prediction set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (truth[i] == predicted[i]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+} // namespace uhd::data

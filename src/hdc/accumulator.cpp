@@ -1,0 +1,75 @@
+#include "uhd/hdc/accumulator.hpp"
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::hdc {
+
+std::int32_t accumulator::value(std::size_t i) const {
+    UHD_REQUIRE(i < values_.size(), "accumulator index out of range");
+    return values_[i];
+}
+
+void accumulator::add(const hypervector& v) {
+    UHD_REQUIRE(v.dim() == dim(), "hypervector dimension mismatch");
+    const auto words = v.bits().words();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t bits = words[w];
+        const std::size_t base = w * 64;
+        const std::size_t lanes = std::min<std::size_t>(64, dim() - base);
+        for (std::size_t j = 0; j < lanes; ++j) {
+            // bit 1 encodes -1, bit 0 encodes +1
+            values_[base + j] += 1 - 2 * static_cast<std::int32_t>(bits & 1u);
+            bits >>= 1;
+        }
+    }
+}
+
+void accumulator::subtract(const hypervector& v) {
+    UHD_REQUIRE(v.dim() == dim(), "hypervector dimension mismatch");
+    const auto words = v.bits().words();
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t bits = words[w];
+        const std::size_t base = w * 64;
+        const std::size_t lanes = std::min<std::size_t>(64, dim() - base);
+        for (std::size_t j = 0; j < lanes; ++j) {
+            values_[base + j] -= 1 - 2 * static_cast<std::int32_t>(bits & 1u);
+            bits >>= 1;
+        }
+    }
+}
+
+void accumulator::add(const accumulator& other) {
+    UHD_REQUIRE(other.dim() == dim(), "accumulator dimension mismatch");
+    for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+}
+
+void accumulator::add_values(std::span<const std::int32_t> other) {
+    UHD_REQUIRE(other.size() == dim(), "accumulator dimension mismatch");
+    for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += other[i];
+}
+
+void accumulator::subtract_values(std::span<const std::int32_t> other) {
+    UHD_REQUIRE(other.size() == dim(), "accumulator dimension mismatch");
+    for (std::size_t i = 0; i < values_.size(); ++i) values_[i] -= other[i];
+}
+
+void accumulator::clear() noexcept {
+    for (auto& v : values_) v = 0;
+}
+
+hypervector accumulator::sign() const {
+    bs::bitstream bits(dim());
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (values_[i] < 0) bits.set_bit(i, true); // bit 1 = -1
+    }
+    return hypervector(std::move(bits));
+}
+
+hypervector majority(std::span<const hypervector> inputs) {
+    UHD_REQUIRE(!inputs.empty(), "majority of empty set");
+    accumulator acc(inputs.front().dim());
+    for (const auto& v : inputs) acc.add(v);
+    return acc.sign();
+}
+
+} // namespace uhd::hdc

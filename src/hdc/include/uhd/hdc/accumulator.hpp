@@ -1,0 +1,72 @@
+// Bundling accumulator: the integer-domain hypervector used between
+// binding and binarization (the "non-quantized class hypervector" of the
+// paper). Supports adding packed hypervectors, other accumulators, and the
+// sign/threshold binarization that produces class hypervectors.
+#ifndef UHD_HDC_ACCUMULATOR_HPP
+#define UHD_HDC_ACCUMULATOR_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "uhd/hdc/hypervector.hpp"
+
+namespace uhd::hdc {
+
+/// Integer accumulator over hypervector dimensions (bundling domain).
+class accumulator {
+public:
+    accumulator() = default;
+
+    /// Zero accumulator of dimension `dim`.
+    explicit accumulator(std::size_t dim) : values_(dim, 0) {}
+
+    [[nodiscard]] std::size_t dim() const noexcept { return values_.size(); }
+
+    [[nodiscard]] std::int32_t value(std::size_t i) const;
+
+    [[nodiscard]] std::span<const std::int32_t> values() const noexcept {
+        return {values_.data(), values_.size()};
+    }
+    [[nodiscard]] std::span<std::int32_t> values() noexcept {
+        return {values_.data(), values_.size()};
+    }
+
+    /// Add a packed hypervector element-wise (+1/-1 per dimension).
+    void add(const hypervector& v);
+
+    /// Subtract a packed hypervector element-wise.
+    void subtract(const hypervector& v);
+
+    /// Add another accumulator element-wise.
+    void add(const accumulator& other);
+
+    /// Add a raw integer vector element-wise (pre-binarization bundling).
+    void add_values(std::span<const std::int32_t> other);
+
+    /// Subtract a raw integer vector element-wise.
+    void subtract_values(std::span<const std::int32_t> other);
+
+    /// Reset all dimensions to zero.
+    void clear() noexcept;
+
+    /// Binarize with the sign function: value >= 0 maps to +1.
+    /// (Ties to +1, matching the hardware's popcount >= TOB rule.)
+    [[nodiscard]] hypervector sign() const;
+
+    /// Heap footprint (Table I memory accounting).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return values_.capacity() * sizeof(std::int32_t);
+    }
+
+private:
+    std::vector<std::int32_t> values_;
+};
+
+/// Majority (bundling + sign) of an odd or even set of hypervectors;
+/// even-count ties resolve to +1.
+[[nodiscard]] hypervector majority(std::span<const hypervector> inputs);
+
+} // namespace uhd::hdc
+
+#endif // UHD_HDC_ACCUMULATOR_HPP

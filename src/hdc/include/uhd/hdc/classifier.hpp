@@ -1,0 +1,216 @@
+// Centroid HDC classifier shared by the baseline and uHD pipelines.
+//
+// Training (paper Fig. 1(b) / Fig. 5): every training image is encoded and
+// bundled into its class accumulator, then each class accumulator is
+// binarized with the sign function into a class hypervector. This is
+// single-pass — no epochs — which is the property uHD exploits for
+// train-on-edge. Inference: encode the test image, binarize, and pick the
+// class with the highest cosine similarity.
+//
+// Two accumulation modes are provided (bench_ablation_binarize):
+// * binarized_images — each image is binarized first (what the Fig. 5
+//   hardware datapath emits), then the +-1 image hypervectors are bundled.
+// * raw_sums — the integer pixel-bundles are added directly (the software
+//   formulation Sigma L_i of Section III).
+//
+// An optional perceptron-style retraining pass (AdaptHD-like, the "w/
+// retrain" rows of Fig. 6(b)) is provided as an extension.
+//
+// The Encoder type must provide:
+//   std::size_t dim() const;
+//   void encode(std::span<const std::uint8_t>, std::span<std::int32_t>) const;
+#ifndef UHD_HDC_CLASSIFIER_HPP
+#define UHD_HDC_CLASSIFIER_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "uhd/common/error.hpp"
+#include "uhd/data/dataset.hpp"
+#include "uhd/data/metrics.hpp"
+#include "uhd/hdc/accumulator.hpp"
+#include "uhd/hdc/similarity.hpp"
+
+namespace uhd::hdc {
+
+/// How image encodings are bundled into class accumulators.
+enum class train_mode {
+    binarized_images, ///< sign() each image hypervector before bundling
+    raw_sums,         ///< bundle the integer accumulators directly
+};
+
+/// How a query is compared against the trained classes.
+enum class query_mode {
+    binarized, ///< sign() the query, cosine against binarized class vectors
+    integer,   ///< cosine between the raw query and integer class vectors
+};
+
+/// Single-pass centroid classifier over any pixel encoder.
+template <typename Encoder>
+class hd_classifier {
+public:
+    hd_classifier(const Encoder& encoder, std::size_t classes,
+                  train_mode mode = train_mode::binarized_images,
+                  query_mode inference = query_mode::binarized)
+        : encoder_(&encoder), classes_(classes), mode_(mode), inference_(inference) {
+        UHD_REQUIRE(classes >= 2, "need at least two classes");
+        class_acc_.assign(classes_, accumulator(encoder.dim()));
+        class_hv_.assign(classes_, hypervector(encoder.dim()));
+    }
+
+    [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+    [[nodiscard]] train_mode mode() const noexcept { return mode_; }
+    [[nodiscard]] query_mode inference() const noexcept { return inference_; }
+    [[nodiscard]] const Encoder& encoder() const noexcept { return *encoder_; }
+
+    /// Single-pass training over the dataset (labels must be < classes()).
+    void fit(const data::dataset& train) {
+        UHD_REQUIRE(train.num_classes() <= classes_, "dataset has too many classes");
+        std::vector<std::int32_t> scratch(encoder_->dim());
+        for (std::size_t i = 0; i < train.size(); ++i) {
+            encoder_->encode(train.image(i), scratch);
+            bundle_into(train.label(i), scratch);
+        }
+        finalize();
+    }
+
+    /// Incrementally add one labeled example (dynamic/online training).
+    void partial_fit(std::span<const std::uint8_t> image, std::size_t label) {
+        UHD_REQUIRE(label < classes_, "label out of range");
+        std::vector<std::int32_t> scratch(encoder_->dim());
+        encoder_->encode(image, scratch);
+        bundle_into(label, scratch);
+        finalize();
+    }
+
+    /// Predict the class of one image (argmax cosine similarity).
+    [[nodiscard]] std::size_t predict(std::span<const std::uint8_t> image) const {
+        std::vector<std::int32_t> scratch(encoder_->dim());
+        encoder_->encode(image, scratch);
+        std::size_t best = 0;
+        double best_similarity = -2.0;
+        if (inference_ == query_mode::integer) {
+            for (std::size_t c = 0; c < classes_; ++c) {
+                const double similarity =
+                    cosine(std::span<const std::int32_t>(scratch),
+                           class_acc_[c].values());
+                if (similarity > best_similarity) {
+                    best_similarity = similarity;
+                    best = c;
+                }
+            }
+            return best;
+        }
+        // Binarize the query (the hardware emits sign bits, Fig. 5).
+        bs::bitstream bits(encoder_->dim());
+        for (std::size_t d = 0; d < scratch.size(); ++d) {
+            if (scratch[d] < 0) bits.set_bit(d, true);
+        }
+        const hypervector query(std::move(bits));
+        for (std::size_t c = 0; c < classes_; ++c) {
+            const double similarity = cosine(query, class_hv_[c]);
+            if (similarity > best_similarity) {
+                best_similarity = similarity;
+                best = c;
+            }
+        }
+        return best;
+    }
+
+    /// Accuracy over a dataset; optionally fills a confusion matrix.
+    [[nodiscard]] double evaluate(const data::dataset& test,
+                                  data::confusion_matrix* matrix = nullptr) const {
+        UHD_REQUIRE(!test.empty(), "evaluate on empty dataset");
+        std::size_t correct = 0;
+        for (std::size_t i = 0; i < test.size(); ++i) {
+            const std::size_t predicted = predict(test.image(i));
+            if (matrix != nullptr) matrix->record(test.label(i), predicted);
+            if (predicted == test.label(i)) ++correct;
+        }
+        return static_cast<double>(correct) / static_cast<double>(test.size());
+    }
+
+    /// AdaptHD-style retraining extension: misclassified samples are added
+    /// to their true class and subtracted from the predicted class.
+    /// Returns the number of updates in the final epoch.
+    std::size_t retrain(const data::dataset& train, std::size_t epochs) {
+        std::vector<std::int32_t> scratch(encoder_->dim());
+        std::size_t last_epoch_updates = 0;
+        for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+            last_epoch_updates = 0;
+            for (std::size_t i = 0; i < train.size(); ++i) {
+                const std::size_t truth = train.label(i);
+                const std::size_t predicted = predict(train.image(i));
+                if (predicted == truth) continue;
+                encoder_->encode(train.image(i), scratch);
+                class_acc_[truth].add_values(scratch);
+                class_acc_[predicted].subtract_values(scratch);
+                ++last_epoch_updates;
+            }
+            finalize();
+            if (last_epoch_updates == 0) break;
+        }
+        return last_epoch_updates;
+    }
+
+    /// Binarized class hypervector for class `c`.
+    [[nodiscard]] const hypervector& class_hypervector(std::size_t c) const {
+        UHD_REQUIRE(c < classes_, "class index out of range");
+        return class_hv_[c];
+    }
+
+    /// Integer class accumulator for class `c` (pre-binarization).
+    [[nodiscard]] const accumulator& class_accumulator(std::size_t c) const {
+        UHD_REQUIRE(c < classes_, "class index out of range");
+        return class_acc_[c];
+    }
+
+    /// Restore class accumulators (deserialization support); class
+    /// hypervectors are re-derived by binarization.
+    void load_state(std::vector<accumulator> accumulators) {
+        UHD_REQUIRE(accumulators.size() == classes_, "class count mismatch");
+        for (const auto& acc : accumulators) {
+            UHD_REQUIRE(acc.dim() == encoder_->dim(), "accumulator dimension mismatch");
+        }
+        class_acc_ = std::move(accumulators);
+        finalize();
+    }
+
+    /// Heap footprint of the model (class accumulators + hypervectors).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        std::size_t bytes = 0;
+        for (const auto& a : class_acc_) bytes += a.memory_bytes();
+        for (const auto& v : class_hv_) bytes += v.memory_bytes();
+        return bytes;
+    }
+
+private:
+    void bundle_into(std::size_t label, std::span<const std::int32_t> encoded) {
+        if (mode_ == train_mode::raw_sums) {
+            class_acc_[label].add_values(encoded);
+            return;
+        }
+        // Binarize the image hypervector first (hardware semantics).
+        bs::bitstream bits(encoder_->dim());
+        for (std::size_t d = 0; d < encoded.size(); ++d) {
+            if (encoded[d] < 0) bits.set_bit(d, true);
+        }
+        class_acc_[label].add(hypervector(std::move(bits)));
+    }
+
+    void finalize() {
+        for (std::size_t c = 0; c < classes_; ++c) class_hv_[c] = class_acc_[c].sign();
+    }
+
+    const Encoder* encoder_;
+    std::size_t classes_;
+    train_mode mode_;
+    query_mode inference_;
+    std::vector<accumulator> class_acc_;
+    std::vector<hypervector> class_hv_;
+};
+
+} // namespace uhd::hdc
+
+#endif // UHD_HDC_CLASSIFIER_HPP

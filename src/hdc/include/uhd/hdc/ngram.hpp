@@ -1,0 +1,69 @@
+// N-gram sequence encoding — the classic HDC text/signal pipeline
+// (Rahimi et al., the paper's reference [3]), built from the same bind /
+// permute / bundle primitives as the image system. Included because the
+// paper positions HDC for NLP as well as vision; this exercises the
+// library's generality beyond pixel encoding.
+//
+// A sequence s_1..s_T over a finite alphabet is encoded as
+//   bundle over t of  bind( rho^{n-1}(V[s_t]), ..., rho(V[s_{t+n-2}]), V[s_{t+n-1}] )
+// where V is a random symbol item memory and rho the cyclic permutation.
+#ifndef UHD_HDC_NGRAM_HPP
+#define UHD_HDC_NGRAM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "uhd/hdc/accumulator.hpp"
+#include "uhd/hdc/hypervector.hpp"
+
+namespace uhd::hdc {
+
+/// Random item memory over a symbolic alphabet.
+class symbol_item_memory {
+public:
+    /// `alphabet` random hypervectors of dimension `dim` from `seed`.
+    symbol_item_memory(std::size_t alphabet, std::size_t dim, std::uint64_t seed);
+
+    [[nodiscard]] std::size_t alphabet() const noexcept { return vectors_.size(); }
+    [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+    /// Hypervector of symbol `s`; throws when s >= alphabet().
+    [[nodiscard]] const hypervector& vector(std::size_t s) const;
+
+    /// Heap footprint.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+private:
+    std::size_t dim_;
+    std::vector<hypervector> vectors_;
+};
+
+/// Sliding-window n-gram encoder over a symbol item memory.
+class ngram_encoder {
+public:
+    /// `n` is the window length (n >= 1; n = 3 is the classic trigram).
+    ngram_encoder(const symbol_item_memory& symbols, std::size_t n);
+
+    [[nodiscard]] std::size_t n() const noexcept { return n_; }
+    [[nodiscard]] std::size_t dim() const noexcept { return symbols_->dim(); }
+
+    /// Hypervector of one window starting at sequence[offset].
+    [[nodiscard]] hypervector window(std::span<const std::size_t> sequence,
+                                     std::size_t offset) const;
+
+    /// Bundle of all windows of the sequence (integer accumulator).
+    /// The sequence must contain at least n symbols.
+    [[nodiscard]] accumulator encode(std::span<const std::size_t> sequence) const;
+
+    /// Binarized sequence hypervector.
+    [[nodiscard]] hypervector encode_sign(std::span<const std::size_t> sequence) const;
+
+private:
+    const symbol_item_memory* symbols_;
+    std::size_t n_;
+};
+
+} // namespace uhd::hdc
+
+#endif // UHD_HDC_NGRAM_HPP

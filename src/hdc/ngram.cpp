@@ -1,0 +1,59 @@
+#include "uhd/hdc/ngram.hpp"
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::hdc {
+
+symbol_item_memory::symbol_item_memory(std::size_t alphabet, std::size_t dim,
+                                       std::uint64_t seed)
+    : dim_(dim) {
+    UHD_REQUIRE(alphabet >= 2, "alphabet needs at least two symbols");
+    UHD_REQUIRE(dim >= 64, "dimension too small to be hyperdimensional");
+    xoshiro256ss rng(seed);
+    vectors_.reserve(alphabet);
+    for (std::size_t s = 0; s < alphabet; ++s) {
+        vectors_.push_back(hypervector::random(dim, rng));
+    }
+}
+
+const hypervector& symbol_item_memory::vector(std::size_t s) const {
+    UHD_REQUIRE(s < vectors_.size(), "symbol out of range");
+    return vectors_[s];
+}
+
+std::size_t symbol_item_memory::memory_bytes() const noexcept {
+    std::size_t bytes = vectors_.capacity() * sizeof(hypervector);
+    for (const auto& v : vectors_) bytes += v.memory_bytes();
+    return bytes;
+}
+
+ngram_encoder::ngram_encoder(const symbol_item_memory& symbols, std::size_t n)
+    : symbols_(&symbols), n_(n) {
+    UHD_REQUIRE(n >= 1, "n-gram size must be at least 1");
+}
+
+hypervector ngram_encoder::window(std::span<const std::size_t> sequence,
+                                  std::size_t offset) const {
+    UHD_REQUIRE(offset + n_ <= sequence.size(), "window exceeds sequence");
+    // rho^{n-1}(V[s_t]) * ... * V[s_{t+n-1}] — older symbols permuted more.
+    hypervector acc = permute(symbols_->vector(sequence[offset]), n_ - 1);
+    for (std::size_t k = 1; k < n_; ++k) {
+        acc = bind(acc, permute(symbols_->vector(sequence[offset + k]), n_ - 1 - k));
+    }
+    return acc;
+}
+
+accumulator ngram_encoder::encode(std::span<const std::size_t> sequence) const {
+    UHD_REQUIRE(sequence.size() >= n_, "sequence shorter than the n-gram window");
+    accumulator acc(dim());
+    for (std::size_t t = 0; t + n_ <= sequence.size(); ++t) {
+        acc.add(window(sequence, t));
+    }
+    return acc;
+}
+
+hypervector ngram_encoder::encode_sign(std::span<const std::size_t> sequence) const {
+    return encode(sequence).sign();
+}
+
+} // namespace uhd::hdc

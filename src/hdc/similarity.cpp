@@ -1,0 +1,51 @@
+#include "uhd/hdc/similarity.hpp"
+
+#include <cmath>
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::hdc {
+
+double cosine(const hypervector& a, const hypervector& b) {
+    UHD_REQUIRE(a.dim() == b.dim() && a.dim() > 0, "hypervector dimension mismatch");
+    // Bipolar vectors have norm sqrt(D), so cosine = dot / D.
+    return static_cast<double>(a.dot(b)) / static_cast<double>(a.dim());
+}
+
+double cosine(std::span<const std::int32_t> a, std::span<const std::int32_t> b) {
+    UHD_REQUIRE(a.size() == b.size() && !a.empty(), "accumulator dimension mismatch");
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double x = static_cast<double>(a[i]);
+        const double y = static_cast<double>(b[i]);
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if (na <= 0.0 || nb <= 0.0) return 0.0;
+    return dot / std::sqrt(na * nb);
+}
+
+double cosine(const hypervector& query, std::span<const std::int32_t> cls) {
+    UHD_REQUIRE(query.dim() == cls.size() && query.dim() > 0,
+                "query/class dimension mismatch");
+    double dot = 0.0;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < cls.size(); ++i) {
+        const double y = static_cast<double>(cls[i]);
+        dot += static_cast<double>(query.element(i)) * y;
+        norm += y * y;
+    }
+    if (norm <= 0.0) return 0.0;
+    return dot / (std::sqrt(norm) * std::sqrt(static_cast<double>(query.dim())));
+}
+
+double hamming_similarity(const hypervector& a, const hypervector& b) {
+    UHD_REQUIRE(a.dim() == b.dim() && a.dim() > 0, "hypervector dimension mismatch");
+    const double distance = static_cast<double>(bs::hamming_distance(a.bits(), b.bits()));
+    return 1.0 - distance / static_cast<double>(a.dim());
+}
+
+} // namespace uhd::hdc

@@ -1,0 +1,54 @@
+// Gate-level builders for every datapath module in the paper (Figs. 3-5).
+//
+// Each builder returns an hw_module with an explicit cell inventory and
+// critical path. The assemblies in uhd/hw/report.hpp compose these into the
+// design points of Table II and the three in-text checkpoints.
+#ifndef UHD_HW_MODULES_HPP
+#define UHD_HW_MODULES_HPP
+
+#include "uhd/hw/module.hpp"
+
+namespace uhd::hw {
+
+/// Fig. 4 — the proposed unary comparator for N-bit thermometer streams:
+/// N AND2 (bit-wise minimum), N INV + N OR2 (check against the inverted
+/// second operand), and an (N-1)-gate AND reduction tree.
+[[nodiscard]] hw_module make_unary_comparator(std::size_t stream_bits);
+
+/// Conventional M-bit binary magnitude comparator (ripple structure:
+/// per-bit XNOR equality + AND/OR chain). The baseline's generation
+/// comparator and the Fig. 3(b) generator comparator.
+[[nodiscard]] hw_module make_binary_comparator(unsigned bits);
+
+/// M-bit binary up-counter (DFF + half-adder increment chain).
+[[nodiscard]] hw_module make_counter(unsigned bits);
+
+/// Fig. 3(b) — conventional unary stream generator: M-bit counter swept
+/// against the M-bit input by a binary comparator.
+[[nodiscard]] hw_module make_counter_comparator_generator(unsigned bits);
+
+/// Maximal-length Fibonacci LFSR of `width` bits (the baseline's
+/// pseudo-random source; Section IV).
+[[nodiscard]] hw_module make_lfsr(unsigned width);
+
+/// Fig. 3(c) — UST address decoder (one-hot decode of the M-bit scalar that
+/// selects the pre-stored unary stream). The stored bits themselves are a
+/// memory_model, not cells.
+[[nodiscard]] hw_module make_ust_decoder(std::size_t levels);
+
+/// Binding XOR for one hypervector bit (baseline only; uHD is
+/// multiplier-less).
+[[nodiscard]] hw_module make_xor_binder();
+
+/// Fig. 5 — the proposed accumulate-and-binarize: popcount counter of
+/// ceil(log2(H+1)) bits plus the hard-wired masking-logic AND and the sign
+/// latch. No subtractor.
+[[nodiscard]] hw_module make_popcount_mask_binarizer(std::size_t inputs);
+
+/// Baseline accumulate-and-binarize: the same popcount counter followed by
+/// a separate subtractor/comparator stage for thresholding.
+[[nodiscard]] hw_module make_popcount_subtract_binarizer(std::size_t inputs);
+
+} // namespace uhd::hw
+
+#endif // UHD_HW_MODULES_HPP

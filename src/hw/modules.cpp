@@ -1,0 +1,158 @@
+#include "uhd/hw/modules.hpp"
+
+#include "uhd/common/bits.hpp"
+#include "uhd/common/error.hpp"
+#include "uhd/lowdisc/lfsr.hpp"
+
+namespace uhd::hw {
+namespace {
+
+// Append `count` copies of `kind` to a critical path.
+void path_repeat(std::vector<cell_kind>& path, cell_kind kind, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) path.push_back(kind);
+}
+
+} // namespace
+
+hw_module make_unary_comparator(std::size_t stream_bits) {
+    UHD_REQUIRE(stream_bits >= 2, "comparator needs at least 2 stream bits");
+    hw_module m;
+    m.name = "unary_comparator_N" + std::to_string(stream_bits);
+    m.cells.add(cell_kind::and2, stream_bits);      // bit-wise minimum
+    m.cells.add(cell_kind::inv, stream_bits);       // NOT of 2nd operand
+    m.cells.add(cell_kind::or2, stream_bits);       // min OR ~B
+    m.cells.add(cell_kind::and2, stream_bits - 1);  // N-input AND reduce tree
+    m.critical_path = {cell_kind::and2, cell_kind::or2};
+    path_repeat(m.critical_path, cell_kind::and2,
+                static_cast<std::size_t>(ceil_log2(stream_bits)));
+    // Thermometer operands keep most gate outputs static; only the bits
+    // between the two operand values toggle between operations (expected
+    // |a - b| ~ N/3 boundary bits across the three gate stages).
+    m.activity = 0.15;
+    return m;
+}
+
+hw_module make_binary_comparator(unsigned bits) {
+    UHD_REQUIRE(bits >= 1, "comparator needs at least 1 bit");
+    hw_module m;
+    m.name = "binary_comparator_M" + std::to_string(bits);
+    // Ripple magnitude comparator: per bit an XNOR (equality), an AND
+    // (propagate) and an OR (greater-resolve), plus an inverter.
+    m.cells.add(cell_kind::xnor2, bits);
+    m.cells.add(cell_kind::and2, bits);
+    m.cells.add(cell_kind::or2, bits);
+    m.cells.add(cell_kind::inv, bits);
+    m.critical_path = {cell_kind::xnor2};
+    path_repeat(m.critical_path, cell_kind::and2, bits);
+    path_repeat(m.critical_path, cell_kind::or2, bits);
+    // Binary-radix operands flip about half the gates every comparison.
+    m.activity = 0.5;
+    return m;
+}
+
+hw_module make_counter(unsigned bits) {
+    UHD_REQUIRE(bits >= 1, "counter needs at least 1 bit");
+    hw_module m;
+    m.name = "counter_M" + std::to_string(bits);
+    m.cells.add(cell_kind::dff, bits);
+    m.cells.add(cell_kind::half_adder, bits); // increment ripple
+    path_repeat(m.critical_path, cell_kind::half_adder, bits);
+    m.critical_path.push_back(cell_kind::dff);
+    // An incrementing counter toggles ~2 bits per step on average.
+    m.activity = bits == 0 ? 0.0 : 2.0 / static_cast<double>(bits);
+    if (m.activity > 1.0) m.activity = 1.0;
+    return m;
+}
+
+hw_module make_counter_comparator_generator(unsigned bits) {
+    hw_module counter = make_counter(bits);
+    hw_module comparator = make_binary_comparator(bits);
+    hw_module m;
+    m.name = "counter_comparator_gen_M" + std::to_string(bits);
+    m.cells.add(counter.cells);
+    m.cells.add(comparator.cells);
+    m.critical_path = counter.critical_path;
+    m.critical_path.insert(m.critical_path.end(), comparator.critical_path.begin(),
+                           comparator.critical_path.end());
+    // Weighted blend of the two sub-modules' activities.
+    const auto& lib = cell_library::generic_45nm();
+    const double total = counter.cells.full_toggle_energy_fj(lib) +
+                         comparator.cells.full_toggle_energy_fj(lib);
+    m.activity = (counter.energy_per_op_fj(lib) + comparator.energy_per_op_fj(lib)) / total;
+    return m;
+}
+
+hw_module make_lfsr(unsigned width) {
+    hw_module m;
+    m.name = "lfsr_W" + std::to_string(width);
+    const auto taps = ld::maximal_taps(width);
+    m.cells.add(cell_kind::dff, width);
+    m.cells.add(cell_kind::xor2, taps.size() - 1);
+    path_repeat(m.critical_path, cell_kind::xor2,
+                static_cast<std::size_t>(ceil_log2(taps.size())));
+    m.critical_path.push_back(cell_kind::dff);
+    // Every stage shifts each cycle: DFFs toggle with probability ~0.5.
+    m.activity = 0.5;
+    return m;
+}
+
+hw_module make_ust_decoder(std::size_t levels) {
+    UHD_REQUIRE(levels >= 2, "UST needs at least two levels");
+    hw_module m;
+    const auto address_bits = static_cast<std::size_t>(ceil_log2(levels));
+    m.name = "ust_decoder_L" + std::to_string(levels);
+    m.cells.add(cell_kind::inv, address_bits);
+    // One-hot decode: each of `levels` outputs ANDs address_bits literals.
+    m.cells.add(cell_kind::and2, levels * (address_bits - 1));
+    m.critical_path = {cell_kind::inv};
+    path_repeat(m.critical_path, cell_kind::and2, address_bits - 1);
+    // Exactly one word line rises and one falls per fetch.
+    m.activity = 2.0 / static_cast<double>(levels);
+    return m;
+}
+
+hw_module make_xor_binder() {
+    hw_module m;
+    m.name = "xor_binder";
+    m.cells.add(cell_kind::xor2, 1);
+    m.critical_path = {cell_kind::xor2};
+    m.activity = 0.5;
+    return m;
+}
+
+hw_module make_popcount_mask_binarizer(std::size_t inputs) {
+    UHD_REQUIRE(inputs >= 1, "binarizer needs at least one input");
+    hw_module m;
+    const auto counter_bits = static_cast<unsigned>(ceil_log2(inputs + 1));
+    m.name = "popcount_mask_binarizer_H" + std::to_string(inputs);
+    const hw_module counter = make_counter(counter_bits);
+    m.cells.add(counter.cells);
+    m.cells.add(cell_kind::and2, counter_bits - 1); // hard-wired masking AND
+    m.cells.add(cell_kind::dff, 1);                 // sign latch
+    m.critical_path = counter.critical_path;
+    path_repeat(m.critical_path, cell_kind::and2,
+                static_cast<std::size_t>(ceil_log2(counter_bits)));
+    m.activity = counter.activity;
+    return m;
+}
+
+hw_module make_popcount_subtract_binarizer(std::size_t inputs) {
+    UHD_REQUIRE(inputs >= 1, "binarizer needs at least one input");
+    hw_module m;
+    const auto counter_bits = static_cast<unsigned>(ceil_log2(inputs + 1));
+    m.name = "popcount_subtract_binarizer_H" + std::to_string(inputs);
+    const hw_module counter = make_counter(counter_bits);
+    m.cells.add(counter.cells);
+    // Separate threshold stage: a full subtractor (FA per bit with inverted
+    // operand), the threshold register, and the sign latch.
+    m.cells.add(cell_kind::full_adder, counter_bits);
+    m.cells.add(cell_kind::inv, counter_bits);
+    m.cells.add(cell_kind::dff, counter_bits); // threshold register
+    m.cells.add(cell_kind::dff, 1);            // sign latch
+    m.critical_path = counter.critical_path;
+    path_repeat(m.critical_path, cell_kind::full_adder, counter_bits);
+    m.activity = counter.activity;
+    return m;
+}
+
+} // namespace uhd::hw

@@ -1,0 +1,186 @@
+#include "uhd/hw/netlist.hpp"
+
+#include "uhd/common/bits.hpp"
+#include "uhd/common/error.hpp"
+
+namespace uhd::hw {
+
+net_id netlist::add_input(std::string name) {
+    UHD_REQUIRE(gates_.empty(), "add all inputs before the first gate");
+    (void)name; // names retained for future waveform dumping; id is the handle
+    const net_id id = static_cast<net_id>(values_.size());
+    values_.push_back(false);
+    ++inputs_;
+    return id;
+}
+
+net_id netlist::add_gate(cell_kind kind, std::vector<net_id> fanin) {
+    UHD_REQUIRE(kind != cell_kind::dff, "netlist simulator is combinational only");
+    const auto& spec = cell_library::generic_45nm().spec(kind);
+    UHD_REQUIRE(fanin.size() == spec.inputs,
+                std::string("gate fan-in mismatch for ") + spec.name);
+    for (const net_id in : fanin) {
+        UHD_REQUIRE(in < values_.size(), "fan-in references unknown net");
+    }
+    const net_id out = static_cast<net_id>(values_.size());
+    values_.push_back(false);
+    gates_.push_back(gate{kind, std::move(fanin), out});
+    per_gate_toggles_.push_back(0);
+    return out;
+}
+
+void netlist::mark_output(net_id net) {
+    UHD_REQUIRE(net < values_.size(), "unknown net");
+    outputs_.push_back(net);
+}
+
+bool netlist::eval_gate(cell_kind kind, const std::vector<bool>& in) {
+    switch (kind) {
+        case cell_kind::inv: return !in[0];
+        case cell_kind::nand2: return !(in[0] && in[1]);
+        case cell_kind::nor2: return !(in[0] || in[1]);
+        case cell_kind::and2: return in[0] && in[1];
+        case cell_kind::or2: return in[0] || in[1];
+        case cell_kind::xor2: return in[0] != in[1];
+        case cell_kind::xnor2: return in[0] == in[1];
+        case cell_kind::mux2: return in[2] ? in[1] : in[0]; // sel = in[2]
+        case cell_kind::half_adder: return in[0] != in[1];  // sum bit
+        case cell_kind::full_adder: return (in[0] != in[1]) != in[2];
+        default: throw uhd::error("unsupported gate kind in netlist");
+    }
+}
+
+void netlist::evaluate(const std::vector<bool>& input_values) {
+    UHD_REQUIRE(input_values.size() == inputs_, "input vector size mismatch");
+    for (std::size_t i = 0; i < inputs_; ++i) values_[i] = input_values[i];
+    std::vector<bool> scratch;
+    for (std::size_t g = 0; g < gates_.size(); ++g) {
+        const gate& gg = gates_[g];
+        scratch.clear();
+        for (const net_id in : gg.fanin) scratch.push_back(values_[in]);
+        const bool next = eval_gate(gg.kind, scratch);
+        if (evaluations_ > 0 && next != values_[gg.output]) {
+            ++toggles_;
+            ++per_gate_toggles_[g];
+        }
+        values_[gg.output] = next;
+    }
+    ++evaluations_;
+}
+
+bool netlist::value(net_id net) const {
+    UHD_REQUIRE(net < values_.size(), "unknown net");
+    return values_[net];
+}
+
+double netlist::measured_activity() const {
+    if (evaluations_ <= 1 || gates_.empty()) return 0.0;
+    const double ops = static_cast<double>(evaluations_ - 1);
+    return static_cast<double>(toggles_) / (ops * static_cast<double>(gates_.size()));
+}
+
+double netlist::measured_energy_per_op_fj(const cell_library& library) const {
+    if (evaluations_ <= 1) return 0.0;
+    double energy = 0.0;
+    for (std::size_t g = 0; g < gates_.size(); ++g) {
+        energy += static_cast<double>(per_gate_toggles_[g]) *
+                  library.spec(gates_[g].kind).energy_fj;
+    }
+    return energy / static_cast<double>(evaluations_ - 1);
+}
+
+double netlist::area_um2(const cell_library& library) const {
+    double area = 0.0;
+    for (const gate& g : gates_) area += library.spec(g.kind).area_um2;
+    return area;
+}
+
+void netlist::reset_stats() noexcept {
+    toggles_ = 0;
+    evaluations_ = 0;
+    for (auto& t : per_gate_toggles_) t = 0;
+}
+
+unary_comparator_netlist::unary_comparator_netlist(std::size_t stream_bits) {
+    UHD_REQUIRE(stream_bits >= 2, "comparator needs at least 2 stream bits");
+    for (std::size_t i = 0; i < stream_bits; ++i) {
+        data_inputs.push_back(circuit.add_input("a" + std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < stream_bits; ++i) {
+        sobol_inputs.push_back(circuit.add_input("b" + std::to_string(i)));
+    }
+    // Fig. 4: min = a AND b; check = min OR (NOT b); output = AND-reduce.
+    std::vector<net_id> check_bits;
+    for (std::size_t i = 0; i < stream_bits; ++i) {
+        const net_id minimum = circuit.add_gate(cell_kind::and2,
+                                                {data_inputs[i], sobol_inputs[i]});
+        const net_id not_b = circuit.add_gate(cell_kind::inv, {sobol_inputs[i]});
+        check_bits.push_back(circuit.add_gate(cell_kind::or2, {minimum, not_b}));
+    }
+    // Balanced AND reduction tree.
+    while (check_bits.size() > 1) {
+        std::vector<net_id> next;
+        for (std::size_t i = 0; i + 1 < check_bits.size(); i += 2) {
+            next.push_back(
+                circuit.add_gate(cell_kind::and2, {check_bits[i], check_bits[i + 1]}));
+        }
+        if (check_bits.size() % 2 == 1) next.push_back(check_bits.back());
+        check_bits = std::move(next);
+    }
+    output = check_bits.front();
+    circuit.mark_output(output);
+}
+
+bool unary_comparator_netlist::compare(std::size_t data_value, std::size_t sobol_value) {
+    const std::size_t n = data_inputs.size();
+    UHD_REQUIRE(data_value <= n && sobol_value <= n, "value exceeds stream length");
+    std::vector<bool> inputs(2 * n, false);
+    // ones_trailing thermometer codes: value v sets the last v bits.
+    for (std::size_t i = 0; i < data_value; ++i) inputs[n - 1 - i] = true;
+    for (std::size_t i = 0; i < sobol_value; ++i) inputs[2 * n - 1 - i] = true;
+    circuit.evaluate(inputs);
+    return circuit.value(output);
+}
+
+binary_comparator_netlist::binary_comparator_netlist(unsigned bits) {
+    UHD_REQUIRE(bits >= 1, "comparator needs at least 1 bit");
+    for (unsigned i = 0; i < bits; ++i) {
+        a_inputs.push_back(circuit.add_input("a" + std::to_string(i)));
+    }
+    for (unsigned i = 0; i < bits; ++i) {
+        b_inputs.push_back(circuit.add_input("b" + std::to_string(i)));
+    }
+    // Ripple from LSB to MSB: geq_i = (a_i > b_i) OR (a_i == b_i AND geq_{i-1}).
+    // a_i > b_i is a_i AND NOT b_i; start with geq_{-1} = 1 == (a >= b for
+    // the empty suffix), realized by seeding with the LSB stage.
+    net_id geq = 0;
+    bool first = true;
+    for (unsigned i = 0; i < bits; ++i) {
+        const net_id not_b = circuit.add_gate(cell_kind::inv, {b_inputs[i]});
+        const net_id gt = circuit.add_gate(cell_kind::and2, {a_inputs[i], not_b});
+        const net_id eq = circuit.add_gate(cell_kind::xnor2, {a_inputs[i], b_inputs[i]});
+        if (first) {
+            // geq_0 = gt_0 OR eq_0 (a_0 >= b_0).
+            geq = circuit.add_gate(cell_kind::or2, {gt, eq});
+            first = false;
+        } else {
+            const net_id carry = circuit.add_gate(cell_kind::and2, {eq, geq});
+            geq = circuit.add_gate(cell_kind::or2, {gt, carry});
+        }
+    }
+    output = geq;
+    circuit.mark_output(output);
+}
+
+bool binary_comparator_netlist::compare(std::uint64_t a, std::uint64_t b) {
+    const std::size_t bits = a_inputs.size();
+    std::vector<bool> inputs(2 * bits, false);
+    for (std::size_t i = 0; i < bits; ++i) {
+        inputs[i] = (a >> i) & 1u;
+        inputs[bits + i] = (b >> i) & 1u;
+    }
+    circuit.evaluate(inputs);
+    return circuit.value(output);
+}
+
+} // namespace uhd::hw

@@ -1,0 +1,194 @@
+#include "uhd/hw/report.hpp"
+
+#include <algorithm>
+
+#include "uhd/common/bits.hpp"
+#include "uhd/common/error.hpp"
+
+namespace uhd::hw {
+namespace {
+
+// UST stream formation: the thermometer patterns are hard-wired, so a fetch
+// is the one-hot address decode plus an OR plane forming the N output bits.
+hw_module make_ust_fetch(unsigned levels) {
+    hw_module decoder = make_ust_decoder(levels);
+    hw_module m;
+    m.name = "ust_fetch_L" + std::to_string(levels);
+    m.cells.add(decoder.cells);
+    m.cells.add(cell_kind::or2, levels); // OR plane onto the N stream bits
+    m.critical_path = decoder.critical_path;
+    m.critical_path.push_back(cell_kind::or2);
+    m.activity = decoder.activity;
+    return m;
+}
+
+// Baseline generation datapath for ONE hypervector bit pair (P and L):
+// two LFSR random sources, the level threshold comparator of
+// ceil(log2(D)) bits (the R in [0, D] vs k*D/2^n comparison), and the
+// binding XOR. The position comparison against t = 0.5 is the MSB and
+// costs no gates.
+struct baseline_gen {
+    hw_module lfsr_p;
+    hw_module lfsr_l;
+    hw_module comparator;
+    hw_module binder;
+};
+
+baseline_gen make_baseline_gen(const design_point& p) {
+    baseline_gen g;
+    g.lfsr_p = make_lfsr(32);
+    g.lfsr_l = make_lfsr(32);
+    g.comparator = make_binary_comparator(static_cast<unsigned>(
+        std::max(ceil_log2(p.dim), static_cast<int>(p.data_bits))));
+    g.binder = make_xor_binder();
+    return g;
+}
+
+} // namespace
+
+hdc_cost_model::hdc_cost_model(const cell_library& library) : library_(&library) {}
+
+double hdc_cost_model::uhd_bitgen_energy_fj(const design_point& p) const {
+    // One UST fetch produces all N stream bits; amortize per bit, and add the
+    // BRAM read of the M-bit quantized scalar that addresses the table.
+    const hw_module fetch = make_ust_fetch(p.quant_levels);
+    const memory_model bram = memory_model::bram(
+        "sobol_bank", p.pixels * p.dim * p.quant_levels); // placeholder size
+    const double fetch_energy = fetch.energy_per_op_fj(*library_);
+    const double scalar_read = bram.read_energy_fj(ceil_log2(p.quant_levels));
+    return (fetch_energy + scalar_read) / static_cast<double>(p.quant_levels);
+}
+
+double hdc_cost_model::baseline_bitgen_energy_fj(const design_point& p) const {
+    // Conventional generator: LFSR random source + counter + wide comparator
+    // evaluated every output bit.
+    const unsigned width =
+        static_cast<unsigned>(std::max(ceil_log2(p.dim), static_cast<int>(p.data_bits)));
+    const hw_module lfsr = make_lfsr(32);
+    const hw_module generator = make_counter_comparator_generator(width);
+    return lfsr.energy_per_op_fj(*library_) + generator.energy_per_op_fj(*library_);
+}
+
+double hdc_cost_model::uhd_comparator_energy_pj_per_hv(const design_point& p) const {
+    const hw_module comparator = make_unary_comparator(p.quant_levels);
+    return comparator.energy_per_op_fj(*library_) * static_cast<double>(p.dim) * 1e-3;
+}
+
+double hdc_cost_model::baseline_comparator_energy_pj_per_hv(const design_point& p) const {
+    const baseline_gen g = make_baseline_gen(p);
+    // Two programmable-threshold magnitude comparisons per dimension: one for
+    // the position stream (R vs t) and one for the level stream (R vs
+    // k*D/2^n), as in the conventional generator of Fig. 1(a).
+    const double level_cmp = g.comparator.energy_per_op_fj(*library_);
+    return 2.0 * level_cmp * static_cast<double>(p.dim) * 1e-3;
+}
+
+double hdc_cost_model::uhd_accbin_energy_pj_per_feature(const design_point& p) const {
+    const hw_module binarizer = make_popcount_mask_binarizer(p.pixels);
+    return binarizer.energy_per_op_fj(*library_) * static_cast<double>(p.dim) * 1e-3;
+}
+
+double hdc_cost_model::baseline_accbin_energy_pj_per_feature(const design_point& p) const {
+    const hw_module binarizer = make_popcount_subtract_binarizer(p.pixels);
+    return binarizer.energy_per_op_fj(*library_) * static_cast<double>(p.dim) * 1e-3;
+}
+
+cost_summary hdc_cost_model::uhd_per_hv(const design_point& p) const {
+    cost_summary s;
+    const hw_module fetch = make_ust_fetch(p.quant_levels);
+    const hw_module comparator = make_unary_comparator(p.quant_levels);
+    const memory_model bram =
+        memory_model::bram("sobol_bank",
+                           p.pixels * p.dim * static_cast<std::size_t>(
+                                                  ceil_log2(p.quant_levels)));
+    const unsigned m_bits = static_cast<unsigned>(ceil_log2(p.quant_levels));
+
+    // Per dimension: read the M-bit Sobol scalar, fetch its unary stream,
+    // compare against the (once-fetched) data stream.
+    const double per_dim_fj = bram.read_energy_fj(m_bits) +
+                              fetch.energy_per_op_fj(*library_) +
+                              comparator.energy_per_op_fj(*library_);
+    const double data_fetch_fj =
+        fetch.energy_per_op_fj(*library_) +
+        memory_model::regfile("data_regs", p.pixels * m_bits).read_energy_fj(m_bits);
+    s.energy_pj = (per_dim_fj * static_cast<double>(p.dim) + data_fetch_fj) * 1e-3;
+
+    // Logic area: decoder/OR plane (x2 operand paths), comparator, the M-bit
+    // data register. BRAM macros are platform block RAM on the paper's
+    // re-configurable target and are excluded from synthesized cell area.
+    cell_counts logic;
+    logic.add(fetch.cells, 2);
+    logic.add(comparator.cells);
+    logic.add(cell_kind::dff, m_bits);
+    s.area_um2 = logic.area_um2(*library_);
+
+    // One dimension per cycle; the cycle is bounded by the BRAM access or
+    // the fetch+compare logic path, whichever is slower.
+    const double logic_path_ps = fetch.delay_ps(*library_) + comparator.delay_ps(*library_);
+    const double cycle_ps = std::max(bram.access_delay_ps, logic_path_ps);
+    s.delay_ps = cycle_ps * static_cast<double>(p.dim);
+    return s;
+}
+
+cost_summary hdc_cost_model::baseline_per_hv(const design_point& p) const {
+    cost_summary s;
+    const baseline_gen g = make_baseline_gen(p);
+    const double per_dim_fj = g.lfsr_p.energy_per_op_fj(*library_) +
+                              g.lfsr_l.energy_per_op_fj(*library_) +
+                              g.comparator.energy_per_op_fj(*library_) +
+                              g.binder.energy_per_op_fj(*library_);
+    const double iterations = static_cast<double>(p.baseline_iterations);
+    s.energy_pj = per_dim_fj * static_cast<double>(p.dim) * iterations * 1e-3;
+
+    cell_counts logic;
+    logic.add(g.lfsr_p.cells);
+    logic.add(g.lfsr_l.cells);
+    logic.add(g.comparator.cells);
+    logic.add(g.binder.cells);
+    s.area_um2 = logic.area_um2(*library_);
+
+    const double cycle_ps = g.lfsr_p.delay_ps(*library_) +
+                            g.comparator.delay_ps(*library_) +
+                            g.binder.delay_ps(*library_);
+    s.delay_ps = cycle_ps * static_cast<double>(p.dim) * iterations;
+    return s;
+}
+
+cost_summary hdc_cost_model::uhd_per_image(const design_point& p) const {
+    const cost_summary hv = uhd_per_hv(p);
+    const hw_module binarizer = make_popcount_mask_binarizer(p.pixels);
+    cost_summary s;
+    const double pixels = static_cast<double>(p.pixels);
+    s.energy_pj = hv.energy_pj * pixels +
+                  uhd_accbin_energy_pj_per_feature(p) * pixels;
+    cell_counts logic;
+    logic.add(binarizer.cells);
+    s.area_um2 = hv.area_um2 + logic.area_um2(*library_);
+    // Accumulation is concurrent with generation (Fig. 5): the image time is
+    // H traversals of the D-cycle generation pipeline.
+    s.delay_ps = hv.delay_ps * pixels;
+    return s;
+}
+
+cost_summary hdc_cost_model::baseline_per_image(const design_point& p) const {
+    const cost_summary hv = baseline_per_hv(p);
+    const hw_module binarizer = make_popcount_subtract_binarizer(p.pixels);
+    cost_summary s;
+    const double pixels = static_cast<double>(p.pixels);
+    s.energy_pj = hv.energy_pj * pixels +
+                  baseline_accbin_energy_pj_per_feature(p) * pixels;
+    cell_counts logic;
+    logic.add(binarizer.cells);
+    s.area_um2 = hv.area_um2 + logic.area_um2(*library_);
+    s.delay_ps = hv.delay_ps * pixels;
+    return s;
+}
+
+double hdc_cost_model::system_efficiency_ratio(const design_point& p) const {
+    const double uhd = uhd_per_image(p).energy_pj;
+    const double baseline = baseline_per_image(p).energy_pj;
+    UHD_REQUIRE(uhd > 0.0, "degenerate uHD energy");
+    return baseline / uhd;
+}
+
+} // namespace uhd::hw

@@ -1,0 +1,89 @@
+#include "uhd/lowdisc/discrepancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::ld {
+
+double star_discrepancy(std::span<const double> points) {
+    UHD_REQUIRE(!points.empty(), "star discrepancy of empty point set");
+    std::vector<double> sorted(points.begin(), points.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double n = static_cast<double>(sorted.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double x = sorted[i];
+        UHD_REQUIRE(x >= 0.0 && x <= 1.0, "points must lie in [0, 1]");
+        const double up = static_cast<double>(i + 1) / n - x;
+        const double down = x - static_cast<double>(i) / n;
+        worst = std::max({worst, up, down});
+    }
+    return worst;
+}
+
+double cdf_error(std::span<const double> points, std::size_t grid) {
+    UHD_REQUIRE(!points.empty(), "cdf error of empty point set");
+    UHD_REQUIRE(grid >= 2, "grid must have at least two probes");
+    std::vector<double> sorted(points.begin(), points.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double n = static_cast<double>(sorted.size());
+    double worst = 0.0;
+    for (std::size_t g = 1; g < grid; ++g) {
+        const double x = static_cast<double>(g) / static_cast<double>(grid);
+        const auto below = std::lower_bound(sorted.begin(), sorted.end(), x);
+        const double empirical =
+            static_cast<double>(std::distance(sorted.begin(), below)) / n;
+        worst = std::max(worst, std::abs(empirical - x));
+    }
+    return worst;
+}
+
+double sequence_correlation(std::span<const double> a, std::span<const double> b) {
+    UHD_REQUIRE(a.size() == b.size(), "sequence lengths differ");
+    UHD_REQUIRE(a.size() >= 2, "need at least two samples");
+    const double n = static_cast<double>(a.size());
+    double ma = 0.0;
+    double mb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ma += a[i];
+        mb += b[i];
+    }
+    ma /= n;
+    mb /= n;
+    double cov = 0.0;
+    double va = 0.0;
+    double vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - ma;
+        const double db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if (va <= 0.0 || vb <= 0.0) return 0.0;
+    return cov / std::sqrt(va * vb);
+}
+
+double chi_square_uniform(std::span<const double> points, std::size_t bins) {
+    UHD_REQUIRE(!points.empty(), "chi-square of empty point set");
+    UHD_REQUIRE(bins >= 2, "need at least two bins");
+    std::vector<std::size_t> histogram(bins, 0);
+    for (const double x : points) {
+        UHD_REQUIRE(x >= 0.0 && x <= 1.0, "points must lie in [0, 1]");
+        std::size_t bin = static_cast<std::size_t>(x * static_cast<double>(bins));
+        if (bin >= bins) bin = bins - 1;
+        ++histogram[bin];
+    }
+    const double expected =
+        static_cast<double>(points.size()) / static_cast<double>(bins);
+    double stat = 0.0;
+    for (const std::size_t observed : histogram) {
+        const double diff = static_cast<double>(observed) - expected;
+        stat += diff * diff / expected;
+    }
+    return stat;
+}
+
+} // namespace uhd::ld

@@ -1,0 +1,108 @@
+#include "uhd/lowdisc/gf2.hpp"
+
+#include <bit>
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::ld {
+
+int gf2_degree(gf2_poly p) noexcept {
+    if (p == 0) return -1;
+    return 63 - std::countl_zero(p);
+}
+
+std::uint64_t gf2_mul(std::uint64_t a, std::uint64_t b) noexcept {
+    // Valid while deg(a) + deg(b) < 64 — always true for the degree <= 32
+    // polynomials used here.
+    std::uint64_t acc = 0;
+    std::uint64_t shifted = a;
+    while (b != 0) {
+        if (b & 1u) acc ^= shifted;
+        shifted <<= 1;
+        b >>= 1;
+    }
+    return acc;
+}
+
+std::uint64_t gf2_mod(std::uint64_t a, gf2_poly mod) noexcept {
+    const int dm = gf2_degree(mod);
+    int da = gf2_degree(a);
+    while (da >= dm && da >= 0) {
+        a ^= mod << (da - dm);
+        da = gf2_degree(a);
+    }
+    return a;
+}
+
+std::uint64_t gf2_mulmod(std::uint64_t a, std::uint64_t b, gf2_poly p) noexcept {
+    return gf2_mod(gf2_mul(a, b), p);
+}
+
+std::uint64_t gf2_pow_x(std::uint64_t e, gf2_poly p) noexcept {
+    std::uint64_t result = gf2_mod(1u, p); // handles degree-0 moduli gracefully
+    std::uint64_t base = gf2_mod(2u, p);   // the polynomial "x"
+    while (e != 0) {
+        if (e & 1u) result = gf2_mulmod(result, base, p);
+        base = gf2_mulmod(base, base, p);
+        e >>= 1;
+    }
+    return result;
+}
+
+std::vector<std::uint64_t> prime_factors(std::uint64_t n) {
+    UHD_REQUIRE(n >= 2, "prime_factors requires n >= 2");
+    std::vector<std::uint64_t> factors;
+    for (std::uint64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+        if (n % p == 0) {
+            factors.push_back(p);
+            while (n % p == 0) n /= p;
+        }
+    }
+    if (n > 1) factors.push_back(n);
+    return factors;
+}
+
+bool is_primitive(gf2_poly p) {
+    const int d = gf2_degree(p);
+    if (d < 1 || d > 32) return false;
+    if ((p & 1u) == 0) return false; // constant term must be 1
+    if (d == 1) return p == 0b11;    // x + 1 is the only degree-1 primitive
+
+    const std::uint64_t order = (d == 64) ? ~std::uint64_t{0}
+                                          : (std::uint64_t{1} << d) - 1;
+    if (gf2_pow_x(order, p) != 1u) return false;
+    for (const std::uint64_t q : prime_factors(order)) {
+        if (gf2_pow_x(order / q, p) == 1u) return false;
+    }
+    return true;
+}
+
+std::vector<gf2_poly> primitive_polynomials(std::size_t count) {
+    std::vector<gf2_poly> polys;
+    polys.reserve(count);
+    for (int degree = 1; degree <= 32 && polys.size() < count; ++degree) {
+        const gf2_poly top = gf2_poly{1} << degree;
+        // Interior coefficients enumerate 0 .. 2^(d-1) - 1; constant term is 1.
+        const gf2_poly interior_count = gf2_poly{1} << (degree - 1);
+        for (gf2_poly interior = 0; interior < interior_count && polys.size() < count;
+             ++interior) {
+            const gf2_poly candidate = top | (interior << 1) | 1u;
+            if (is_primitive(candidate)) polys.push_back(candidate);
+        }
+    }
+    UHD_REQUIRE(polys.size() == count, "could not enumerate enough primitive polynomials");
+    return polys;
+}
+
+gf2_poly first_primitive_of_degree(int degree) {
+    UHD_REQUIRE(degree >= 1 && degree <= 32, "degree must be in [1, 32]");
+    const gf2_poly top = gf2_poly{1} << degree;
+    const gf2_poly interior_count = gf2_poly{1} << (degree - 1);
+    for (gf2_poly interior = 0; interior < interior_count; ++interior) {
+        const gf2_poly candidate = top | (interior << 1) | 1u;
+        if (is_primitive(candidate)) return candidate;
+    }
+    throw uhd::error("no primitive polynomial found (unreachable for valid degrees)");
+}
+
+} // namespace uhd::ld

@@ -1,0 +1,101 @@
+#include "uhd/lowdisc/lfsr.hpp"
+
+#include <bit>
+
+#include "uhd/common/error.hpp"
+#include "uhd/lowdisc/gf2.hpp"
+
+namespace uhd::ld {
+
+std::vector<unsigned> maximal_taps(unsigned width) {
+    // Classic maximal-length tap tables (Xilinx XAPP052 / Ward & Molteno).
+    // Positions are 1-based stage numbers; the feedback XORs these stages.
+    switch (width) {
+        case 3: return {3, 2};
+        case 4: return {4, 3};
+        case 5: return {5, 3};
+        case 6: return {6, 5};
+        case 7: return {7, 6};
+        case 8: return {8, 6, 5, 4};
+        case 9: return {9, 5};
+        case 10: return {10, 7};
+        case 11: return {11, 9};
+        case 12: return {12, 6, 4, 1};
+        case 13: return {13, 4, 3, 1};
+        case 14: return {14, 5, 3, 1};
+        case 15: return {15, 14};
+        case 16: return {16, 15, 13, 4};
+        case 17: return {17, 14};
+        case 18: return {18, 11};
+        case 19: return {19, 6, 2, 1};
+        case 20: return {20, 17};
+        case 21: return {21, 19};
+        case 22: return {22, 21};
+        case 23: return {23, 18};
+        case 24: return {24, 23, 22, 17};
+        case 25: return {25, 22};
+        case 26: return {26, 6, 2, 1};
+        case 27: return {27, 5, 2, 1};
+        case 28: return {28, 25};
+        case 29: return {29, 27};
+        case 30: return {30, 6, 4, 1};
+        case 31: return {31, 28};
+        case 32: return {32, 22, 2, 1};
+        default:
+            throw uhd::error("maximal_taps: width must be in [3, 32]");
+    }
+}
+
+lfsr::lfsr(unsigned width, std::uint32_t seed, lfsr_kind kind)
+    : width_(width), kind_(kind) {
+    UHD_REQUIRE(width >= 3 && width <= 32, "LFSR width must be in [3, 32]");
+    mask_ = width == 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << width) - 1);
+    if (kind_ == lfsr_kind::fibonacci) {
+        // Tap-table feedback. Either stage-numbering convention yields the
+        // primitive polynomial or its reciprocal — both are maximal-length.
+        taps_mask_ = 0;
+        for (const unsigned tap : maximal_taps(width)) {
+            taps_mask_ |= std::uint32_t{1} << (tap - 1);
+        }
+    } else {
+        // Galois form clocked as multiply-by-x modulo a verified primitive
+        // polynomial: maximal length holds by construction.
+        const gf2_poly poly = first_primitive_of_degree(static_cast<int>(width));
+        taps_mask_ = static_cast<std::uint32_t>(poly) & mask_;
+    }
+    state_ = seed & mask_;
+    UHD_REQUIRE(state_ != 0, "LFSR seed must be nonzero (all-zero state locks up)");
+}
+
+bool lfsr::step() noexcept {
+    if (kind_ == lfsr_kind::fibonacci) {
+        // Output is the MSB stage; feedback bit is the XOR of the taps.
+        const bool out = (state_ >> (width_ - 1)) & 1u;
+        const std::uint32_t fb =
+            static_cast<std::uint32_t>(std::popcount(state_ & taps_mask_) & 1);
+        state_ = ((state_ << 1) | fb) & mask_;
+        return out;
+    }
+    // Galois: multiply the state polynomial by x modulo the primitive
+    // polynomial (shift left; on MSB overflow, fold the low coefficients in).
+    const bool out = (state_ >> (width_ - 1)) & 1u;
+    state_ = (state_ << 1) & mask_;
+    if (out) state_ ^= taps_mask_;
+    return out;
+}
+
+std::uint32_t lfsr::next_bits(unsigned bits) noexcept {
+    std::uint32_t word = 0;
+    for (unsigned i = 0; i < bits && i < 32; ++i) {
+        word |= static_cast<std::uint32_t>(step()) << i;
+    }
+    return word;
+}
+
+double lfsr::next_unit() noexcept {
+    step();
+    return static_cast<double>(state_) /
+           static_cast<double>(std::uint64_t{1} << width_);
+}
+
+} // namespace uhd::ld

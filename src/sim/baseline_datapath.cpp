@@ -1,0 +1,57 @@
+#include "uhd/sim/baseline_datapath.hpp"
+
+#include "uhd/common/error.hpp"
+#include "uhd/core/binarizer.hpp"
+
+namespace uhd::sim {
+
+baseline_datapath_sim::baseline_datapath_sim(const hdc::baseline_encoder& encoder)
+    : encoder_(&encoder) {}
+
+hdc::hypervector baseline_datapath_sim::run(std::span<const std::uint8_t> image,
+                                            event_counts* events) const {
+    UHD_REQUIRE(image.size() == encoder_->pixels(), "image size mismatch");
+    const std::size_t dim = encoder_->dim();
+    const std::size_t pixels = encoder_->pixels();
+    const auto& positions = encoder_->positions();
+    const auto& levels = encoder_->level_memory();
+
+    event_counts local;
+    bs::bitstream bits(dim);
+
+    for (std::size_t d = 0; d < dim; ++d) {
+        // The baseline thresholds at H/2 (the +1 bits in majority).
+        core::popcount_binarizer binarizer(pixels);
+        const std::size_t word = d / 64;
+        const std::uint64_t mask = std::uint64_t{1} << (d % 64);
+        for (std::size_t p = 0; p < pixels; ++p) {
+            // In hardware both operand bits come from LFSR streams that are
+            // regenerated every pass (dynamic generation); charge one LFSR
+            // step per random bit and one level-threshold comparison.
+            const bool p_bit = (positions.row_words(p)[word] & mask) != 0;
+            local.lfsr_steps += 1;
+            const std::size_t k = levels.level_of(image[p]);
+            const bool l_bit = (levels.row_words(k)[word] & mask) != 0;
+            local.lfsr_steps += 1;
+            local.comparator_ops += 1;
+
+            // Binding XOR; bit 1 encodes -1, so "plus" is bound == 0.
+            const bool bound = p_bit ^ l_bit;
+            local.xor_binds += 1;
+            const bool plus_bit = !bound;
+            if (plus_bit) local.counter_increments += 1;
+            binarizer.feed(plus_bit);
+            local.cycles += 1;
+        }
+        if (binarizer.sign_bit()) {
+            local.sign_latches += 1;
+        } else {
+            bits.set_bit(d, true); // minus in majority: -1
+        }
+    }
+
+    if (events != nullptr) *events += local;
+    return hdc::hypervector(std::move(bits));
+}
+
+} // namespace uhd::sim

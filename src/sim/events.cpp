@@ -1,0 +1,18 @@
+#include "uhd/sim/events.hpp"
+
+#include <sstream>
+
+namespace uhd::sim {
+
+std::string event_counts::to_string() const {
+    std::ostringstream os;
+    os << "cycles=" << cycles << " ust_fetches=" << ust_fetches
+       << " bram_scalar_reads=" << bram_scalar_reads
+       << " reg_scalar_reads=" << reg_scalar_reads
+       << " comparator_ops=" << comparator_ops << " lfsr_steps=" << lfsr_steps
+       << " xor_binds=" << xor_binds << " counter_increments=" << counter_increments
+       << " sign_latches=" << sign_latches;
+    return os.str();
+}
+
+} // namespace uhd::sim

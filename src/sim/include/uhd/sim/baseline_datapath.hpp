@@ -1,0 +1,36 @@
+// Bit-serial functional simulation of the baseline HDC datapath
+// (paper Fig. 1(b)): per pixel, bind the position and level hypervector
+// bits with XOR, popcount the bound bits per dimension, and binarize with
+// the separate subtractor/comparator stage against H/2.
+//
+// Tests prove the emitted hypervector bit-identical to
+// baseline_encoder::encode_sign(); event counts feed the hw energy model.
+#ifndef UHD_SIM_BASELINE_DATAPATH_HPP
+#define UHD_SIM_BASELINE_DATAPATH_HPP
+
+#include <span>
+
+#include "uhd/hdc/baseline_encoder.hpp"
+#include "uhd/sim/events.hpp"
+
+namespace uhd::sim {
+
+/// Cycle-semantics simulator of the baseline bind/bundle/binarize pipeline.
+class baseline_datapath_sim {
+public:
+    explicit baseline_datapath_sim(const hdc::baseline_encoder& encoder);
+
+    /// Run one image; returns the binarized image hypervector and
+    /// accumulates event counts when `events` is non-null. Each consumed
+    /// random bit is charged as one LFSR step (the paper's hardware
+    /// regenerates P and L dynamically).
+    [[nodiscard]] hdc::hypervector run(std::span<const std::uint8_t> image,
+                                       event_counts* events = nullptr) const;
+
+private:
+    const hdc::baseline_encoder* encoder_;
+};
+
+} // namespace uhd::sim
+
+#endif // UHD_SIM_BASELINE_DATAPATH_HPP

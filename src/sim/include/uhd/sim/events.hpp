@@ -1,0 +1,43 @@
+// Switching/access event counters produced by the datapath simulations.
+// These are the activity inputs of the uhd::hw energy model: each event
+// maps to one operation of a Fig. 3-5 module.
+#ifndef UHD_SIM_EVENTS_HPP
+#define UHD_SIM_EVENTS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace uhd::sim {
+
+/// Per-run counts of datapath events.
+struct event_counts {
+    std::uint64_t cycles = 0;             ///< pipeline cycles simulated
+    std::uint64_t ust_fetches = 0;        ///< unary stream table lookups
+    std::uint64_t bram_scalar_reads = 0;  ///< quantized Sobol scalar reads
+    std::uint64_t reg_scalar_reads = 0;   ///< processing-data register reads
+    std::uint64_t comparator_ops = 0;     ///< unary or binary comparisons
+    std::uint64_t lfsr_steps = 0;         ///< baseline pseudo-random bits drawn
+    std::uint64_t xor_binds = 0;          ///< baseline binding operations
+    std::uint64_t counter_increments = 0; ///< popcount counter increments
+    std::uint64_t sign_latches = 0;       ///< binarizer sign-bit latch events
+
+    event_counts& operator+=(const event_counts& rhs) noexcept {
+        cycles += rhs.cycles;
+        ust_fetches += rhs.ust_fetches;
+        bram_scalar_reads += rhs.bram_scalar_reads;
+        reg_scalar_reads += rhs.reg_scalar_reads;
+        comparator_ops += rhs.comparator_ops;
+        lfsr_steps += rhs.lfsr_steps;
+        xor_binds += rhs.xor_binds;
+        counter_increments += rhs.counter_increments;
+        sign_latches += rhs.sign_latches;
+        return *this;
+    }
+
+    /// Multi-line human-readable rendering.
+    [[nodiscard]] std::string to_string() const;
+};
+
+} // namespace uhd::sim
+
+#endif // UHD_SIM_EVENTS_HPP

@@ -1,0 +1,39 @@
+// Bit-serial functional simulation of the uHD datapath (paper Fig. 5).
+//
+// For every hypervector dimension the simulator fetches the pixel's unary
+// data stream and the Sobol scalar's unary stream from the UST, runs the
+// Fig. 4 comparator gate-for-gate, and feeds the resulting bit into the
+// popcount binarizer with its masking-logic threshold. The emitted image
+// hypervector is proven (by tests) bit-identical to the fast
+// uhd_encoder::encode_sign() path, and the collected event counts drive the
+// uhd::hw energy model for the per-image rows of Table II.
+#ifndef UHD_SIM_UHD_DATAPATH_HPP
+#define UHD_SIM_UHD_DATAPATH_HPP
+
+#include <span>
+
+#include "uhd/core/binarizer.hpp"
+#include "uhd/core/encoder.hpp"
+#include "uhd/sim/events.hpp"
+
+namespace uhd::sim {
+
+/// Cycle-semantics simulator of the Fig. 5 uHD pipeline.
+class uhd_datapath_sim {
+public:
+    /// Bind to an encoder (its Sobol bank and UST are the simulated BRAM).
+    explicit uhd_datapath_sim(const core::uhd_encoder& encoder);
+
+    /// Run one image through the pipeline; returns the binarized image
+    /// hypervector and, when `events` is non-null, accumulates datapath
+    /// event counts into it.
+    [[nodiscard]] hdc::hypervector run(std::span<const std::uint8_t> image,
+                                       event_counts* events = nullptr) const;
+
+private:
+    const core::uhd_encoder* encoder_;
+};
+
+} // namespace uhd::sim
+
+#endif // UHD_SIM_UHD_DATAPATH_HPP

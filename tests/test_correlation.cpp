@@ -1,0 +1,73 @@
+// Tests for SCC / Pearson correlation and agreement metrics.
+#include <gtest/gtest.h>
+
+#include "uhd/bitstream/correlation.hpp"
+#include "uhd/bitstream/generator.hpp"
+#include "uhd/bitstream/unary.hpp"
+#include "uhd/common/error.hpp"
+#include "uhd/common/rng.hpp"
+
+namespace {
+
+using namespace uhd::bs;
+
+TEST(Scc, UnaryStreamsAreMaximallyCorrelated) {
+    // Equally aligned thermometer streams overlap maximally: SCC = +1.
+    const bitstream a = unary_encode(3, 16);
+    const bitstream b = unary_encode(9, 16);
+    EXPECT_NEAR(scc(a, b), 1.0, 1e-12);
+}
+
+TEST(Scc, OppositeAlignmentIsAntiCorrelated) {
+    const bitstream a = unary_encode(8, 16, unary_alignment::ones_trailing);
+    const bitstream b = unary_encode(8, 16, unary_alignment::ones_leading);
+    EXPECT_NEAR(scc(a, b), -1.0, 1e-12);
+}
+
+TEST(Scc, IndependentStreamsNearZero) {
+    uhd::xoshiro256ss rng(3);
+    const bitstream a = bernoulli_stream(0.5, 50000, rng);
+    const bitstream b = bernoulli_stream(0.5, 50000, rng);
+    EXPECT_NEAR(scc(a, b), 0.0, 0.03);
+}
+
+TEST(Scc, ConstantStreamGivesZero) {
+    const bitstream a(16, true);
+    const bitstream b = unary_encode(5, 16);
+    EXPECT_DOUBLE_EQ(scc(a, b), 0.0);
+}
+
+TEST(Scc, MismatchedLengthsThrow) {
+    EXPECT_THROW((void)scc(bitstream(8), bitstream(9)), uhd::error);
+}
+
+TEST(Pearson, PerfectCorrelationOnIdenticalStreams) {
+    uhd::xoshiro256ss rng(4);
+    const bitstream a = bernoulli_stream(0.5, 10000, rng);
+    EXPECT_NEAR(pearson(a, a), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(a, ~a), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNearZero) {
+    uhd::xoshiro256ss rng(7);
+    const bitstream a = bernoulli_stream(0.4, 50000, rng);
+    const bitstream b = bernoulli_stream(0.6, 50000, rng);
+    EXPECT_NEAR(pearson(a, b), 0.0, 0.03);
+}
+
+TEST(ValueError, MeasuresRepresentationAccuracy) {
+    const bitstream s = unary_encode(4, 16);
+    EXPECT_NEAR(value_error(s, 0.25), 0.0, 1e-12);
+    EXPECT_NEAR(value_error(s, 0.5), 0.25, 1e-12);
+}
+
+TEST(BipolarAgreement, MatchesCosineOfSignVectors) {
+    // agreement = (matches - mismatches) / n.
+    const bitstream a = bitstream::from_string("0011");
+    const bitstream b = bitstream::from_string("0010");
+    EXPECT_DOUBLE_EQ(bipolar_agreement(a, b), 0.5);
+    EXPECT_DOUBLE_EQ(bipolar_agreement(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(bipolar_agreement(a, ~a), -1.0);
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+// Tests for the uniformity diagnostics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "uhd/common/error.hpp"
+#include "uhd/common/rng.hpp"
+#include "uhd/lowdisc/discrepancy.hpp"
+#include "uhd/lowdisc/halton.hpp"
+
+namespace {
+
+using namespace uhd::ld;
+
+std::vector<double> uniform_grid(std::size_t n) {
+    std::vector<double> points;
+    for (std::size_t i = 0; i < n; ++i) {
+        points.push_back((static_cast<double>(i) + 0.5) / static_cast<double>(n));
+    }
+    return points;
+}
+
+TEST(StarDiscrepancy, CenteredGridIsOptimal) {
+    // The centered regular grid has D* = 1/(2n).
+    const auto points = uniform_grid(100);
+    EXPECT_NEAR(star_discrepancy(points), 0.005, 1e-9);
+}
+
+TEST(StarDiscrepancy, SinglePoint) {
+    EXPECT_NEAR(star_discrepancy(std::vector<double>{0.5}), 0.5, 1e-12);
+}
+
+TEST(StarDiscrepancy, ClusteredPointsAreBad) {
+    std::vector<double> clustered(50, 0.9);
+    EXPECT_GT(star_discrepancy(clustered), 0.8);
+}
+
+TEST(StarDiscrepancy, RejectsOutOfRange) {
+    EXPECT_THROW((void)star_discrepancy(std::vector<double>{1.5}), uhd::error);
+    EXPECT_THROW((void)star_discrepancy(std::vector<double>{}), uhd::error);
+}
+
+TEST(StarDiscrepancy, LdBeatsRandom) {
+    const auto vdc = van_der_corput(512);
+    uhd::xoshiro256ss rng(17);
+    std::vector<double> random;
+    for (int i = 0; i < 512; ++i) random.push_back(rng.next_unit());
+    EXPECT_LT(star_discrepancy(vdc), star_discrepancy(random));
+}
+
+TEST(CdfError, BoundedByStarDiscrepancy) {
+    const auto vdc = van_der_corput(256);
+    EXPECT_LE(cdf_error(vdc), star_discrepancy(vdc) + 1e-12);
+}
+
+TEST(SequenceCorrelation, SelfIsOne) {
+    const auto points = van_der_corput(128);
+    EXPECT_NEAR(sequence_correlation(points, points), 1.0, 1e-12);
+}
+
+TEST(SequenceCorrelation, AntitheticIsMinusOne) {
+    const auto a = van_der_corput(128);
+    std::vector<double> b;
+    for (const double x : a) b.push_back(1.0 - x);
+    EXPECT_NEAR(sequence_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(SequenceCorrelation, MismatchThrows) {
+    EXPECT_THROW((void)sequence_correlation(van_der_corput(4), van_der_corput(5)),
+                 uhd::error);
+}
+
+TEST(ChiSquare, UniformSampleLooksUniform) {
+    const auto points = uniform_grid(1024);
+    // A perfectly uniform sample has chi-square ~ 0.
+    EXPECT_LT(chi_square_uniform(points, 16), 1.0);
+}
+
+TEST(ChiSquare, BiasedSampleFails) {
+    std::vector<double> biased(1024, 0.1);
+    EXPECT_GT(chi_square_uniform(biased, 16), 1000.0);
+}
+
+} // namespace

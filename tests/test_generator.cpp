@@ -1,0 +1,102 @@
+// Tests for the bit-stream generators: counter+comparator (Fig. 3(b)),
+// Bernoulli stochastic streams, and threshold streams (the uHD level rule).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "uhd/bitstream/generator.hpp"
+#include "uhd/bitstream/unary.hpp"
+#include "uhd/common/error.hpp"
+
+namespace {
+
+using namespace uhd::bs;
+
+TEST(CounterComparator, ProducesLeadingThermometer) {
+    counter_comparator_generator gen(4);
+    EXPECT_EQ(gen.stream_length(), 16u);
+    const bitstream s = gen.generate(5);
+    EXPECT_EQ(s.to_string(), "1111100000000000");
+    EXPECT_TRUE(is_unary(s, unary_alignment::ones_leading));
+}
+
+TEST(CounterComparator, ZeroAndFullScale) {
+    counter_comparator_generator gen(3);
+    EXPECT_EQ(gen.generate(0).popcount(), 0u);
+    EXPECT_EQ(gen.generate(8).popcount(), 8u);
+}
+
+TEST(CounterComparator, ValueOutOfRangeThrows) {
+    counter_comparator_generator gen(3);
+    EXPECT_THROW(gen.load(9), uhd::error);
+}
+
+TEST(CounterComparator, StepBeyondLengthThrows) {
+    counter_comparator_generator gen(2);
+    gen.load(1);
+    for (int i = 0; i < 4; ++i) (void)gen.step();
+    EXPECT_TRUE(gen.done());
+    EXPECT_THROW((void)gen.step(), uhd::error);
+}
+
+TEST(CounterComparator, CycleAccurateBits) {
+    counter_comparator_generator gen(3);
+    gen.load(3);
+    std::vector<bool> bits;
+    while (!gen.done()) bits.push_back(gen.step());
+    ASSERT_EQ(bits.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(bits[i], i < 3);
+}
+
+class CounterComparatorValues : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CounterComparatorValues, EveryValueRoundTrips) {
+    const unsigned bits = GetParam();
+    counter_comparator_generator gen(bits);
+    for (std::uint64_t v = 0; v <= gen.stream_length(); ++v) {
+        EXPECT_EQ(gen.generate(v).popcount(), v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CounterComparatorValues, ::testing::Values(1, 2, 4, 6));
+
+TEST(Bernoulli, ValueConvergesToProbability) {
+    uhd::xoshiro256ss rng(5);
+    const bitstream s = bernoulli_stream(0.3, 20000, rng);
+    EXPECT_NEAR(s.value(), 0.3, 0.02);
+}
+
+TEST(Bernoulli, DegenerateProbabilities) {
+    uhd::xoshiro256ss rng(6);
+    EXPECT_EQ(bernoulli_stream(0.0, 500, rng).popcount(), 0u);
+    EXPECT_EQ(bernoulli_stream(1.0, 500, rng).popcount(), 500u);
+    EXPECT_THROW((void)bernoulli_stream(1.5, 10, rng), uhd::error);
+}
+
+TEST(ThresholdStream, BitsFollowComparisonRule) {
+    const std::vector<double> thresholds = {0.1, 0.5, 0.9, 0.3};
+    const bitstream s = threshold_stream(0.4, thresholds);
+    EXPECT_EQ(s.to_string(), "1001");
+}
+
+TEST(ThresholdStream, ValueApproximatesInput) {
+    // Against an equidistributed threshold set the stream value converges to
+    // the encoded scalar — the SC representation property uHD builds on.
+    std::vector<double> thresholds;
+    const std::size_t n = 4096;
+    for (std::size_t i = 0; i < n; ++i) {
+        thresholds.push_back(static_cast<double>(i) / static_cast<double>(n));
+    }
+    for (const double x : {0.1, 0.25, 0.7, 0.95}) {
+        const bitstream s = threshold_stream(x, thresholds);
+        EXPECT_NEAR(s.value(), x, 1.5 / 64.0);
+    }
+}
+
+TEST(QuantizedThresholdStream, MatchesIntegerComparison) {
+    const std::vector<std::uint8_t> thresholds = {0, 3, 7, 15, 8, 8};
+    const bitstream s = quantized_threshold_stream(8, thresholds);
+    EXPECT_EQ(s.to_string(), "111011");
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+// Tests for hypervectors, binding/permutation, accumulators, and similarity.
+#include <gtest/gtest.h>
+
+#include "uhd/common/error.hpp"
+#include "uhd/hdc/accumulator.hpp"
+#include "uhd/hdc/hypervector.hpp"
+#include "uhd/hdc/similarity.hpp"
+
+namespace {
+
+using namespace uhd::hdc;
+
+TEST(Hypervector, DefaultElementsArePlusOne) {
+    const hypervector v(64);
+    for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(v.element(i), +1);
+    EXPECT_EQ(v.count_positive(), 64u);
+}
+
+TEST(Hypervector, SetElementRoundTrip) {
+    hypervector v(10);
+    v.set_element(3, -1);
+    v.set_element(7, -5); // any negative maps to -1
+    EXPECT_EQ(v.element(3), -1);
+    EXPECT_EQ(v.element(7), -1);
+    EXPECT_EQ(v.count_negative(), 2u);
+    v.set_element(3, +2);
+    EXPECT_EQ(v.element(3), +1);
+}
+
+TEST(Hypervector, RandomIsBalancedAndDeterministic) {
+    uhd::xoshiro256ss rng_a(5);
+    uhd::xoshiro256ss rng_b(5);
+    const hypervector a = hypervector::random(4096, rng_a);
+    const hypervector b = hypervector::random(4096, rng_b);
+    EXPECT_EQ(a, b);
+    // Balanced within 4 sigma: |#neg - D/2| < 4 * sqrt(D)/2.
+    const double deviation =
+        std::abs(static_cast<double>(a.count_negative()) - 2048.0);
+    EXPECT_LT(deviation, 128.0);
+}
+
+TEST(Hypervector, DotIdentities) {
+    uhd::xoshiro256ss rng(6);
+    const hypervector a = hypervector::random(1024, rng);
+    EXPECT_EQ(a.dot(a), 1024);
+    EXPECT_EQ(a.dot(-a), -1024);
+    const hypervector b = hypervector::random(1024, rng);
+    // Random hypervectors are nearly orthogonal: |dot| < 5 sqrt(D).
+    EXPECT_LT(std::abs(a.dot(b)), 160);
+    EXPECT_EQ(a.dot(b), b.dot(a));
+}
+
+TEST(Hypervector, DotDimensionMismatchThrows) {
+    EXPECT_THROW((void)hypervector(8).dot(hypervector(9)), uhd::error);
+}
+
+TEST(Bind, IsBipolarMultiplication) {
+    uhd::xoshiro256ss rng(7);
+    const hypervector a = hypervector::random(256, rng);
+    const hypervector b = hypervector::random(256, rng);
+    const hypervector bound = bind(a, b);
+    for (std::size_t i = 0; i < 256; ++i) {
+        EXPECT_EQ(bound.element(i), a.element(i) * b.element(i));
+    }
+}
+
+TEST(Bind, SelfBindingIsIdentityVector) {
+    uhd::xoshiro256ss rng(8);
+    const hypervector a = hypervector::random(128, rng);
+    EXPECT_EQ(bind(a, a).count_positive(), 128u);
+}
+
+TEST(Bind, BoundVectorIsOrthogonalToInputs) {
+    uhd::xoshiro256ss rng(9);
+    const hypervector a = hypervector::random(4096, rng);
+    const hypervector b = hypervector::random(4096, rng);
+    const hypervector bound = bind(a, b);
+    EXPECT_LT(std::abs(bound.dot(a)), 320);
+    EXPECT_LT(std::abs(bound.dot(b)), 320);
+}
+
+TEST(Permute, RotationPreservesCountsAndIsInvertible) {
+    uhd::xoshiro256ss rng(10);
+    const hypervector a = hypervector::random(100, rng);
+    const hypervector rotated = permute(a, 17);
+    EXPECT_EQ(rotated.count_negative(), a.count_negative());
+    EXPECT_EQ(permute(rotated, 100 - 17), a);
+    EXPECT_EQ(permute(a, 0), a);
+    EXPECT_EQ(permute(a, 100), a);
+}
+
+TEST(Accumulator, AddAndSign) {
+    accumulator acc(4);
+    hypervector v(4);
+    v.set_element(1, -1);
+    acc.add(v);
+    acc.add(v);
+    hypervector w(4);
+    w.set_element(2, -1);
+    acc.add(w);
+    EXPECT_EQ(acc.value(0), 3);
+    EXPECT_EQ(acc.value(1), -1);
+    EXPECT_EQ(acc.value(2), 1);
+    const hypervector s = acc.sign();
+    EXPECT_EQ(s.element(0), +1);
+    EXPECT_EQ(s.element(1), -1);
+    EXPECT_EQ(s.element(2), +1);
+}
+
+TEST(Accumulator, SignTiesGoPositive) {
+    accumulator acc(2);
+    EXPECT_EQ(acc.sign().element(0), +1); // zero accumulator -> +1
+}
+
+TEST(Accumulator, SubtractUndoesAdd) {
+    uhd::xoshiro256ss rng(11);
+    const hypervector v = hypervector::random(64, rng);
+    accumulator acc(64);
+    acc.add(v);
+    acc.subtract(v);
+    for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(acc.value(i), 0);
+}
+
+TEST(Accumulator, AddValuesAndClear) {
+    accumulator acc(3);
+    const std::vector<std::int32_t> raw = {5, -2, 0};
+    acc.add_values(raw);
+    acc.add_values(raw);
+    EXPECT_EQ(acc.value(0), 10);
+    acc.subtract_values(raw);
+    EXPECT_EQ(acc.value(0), 5);
+    acc.clear();
+    EXPECT_EQ(acc.value(0), 0);
+    EXPECT_THROW(acc.add_values(std::vector<std::int32_t>{1}), uhd::error);
+}
+
+TEST(Accumulator, DimensionMismatchThrows) {
+    accumulator acc(8);
+    EXPECT_THROW(acc.add(hypervector(9)), uhd::error);
+    EXPECT_THROW((void)acc.value(8), uhd::error);
+}
+
+TEST(Majority, OddSetFollowsElementwiseMajority) {
+    hypervector a(4);
+    hypervector b(4);
+    hypervector c(4);
+    a.set_element(0, -1);
+    b.set_element(0, -1);
+    c.set_element(1, -1);
+    const std::vector<hypervector> inputs = {a, b, c};
+    const hypervector m = majority(inputs);
+    EXPECT_EQ(m.element(0), -1);
+    EXPECT_EQ(m.element(1), +1);
+    EXPECT_THROW((void)majority(std::vector<hypervector>{}), uhd::error);
+}
+
+TEST(Similarity, CosineOfBinarizedVectors) {
+    uhd::xoshiro256ss rng(12);
+    const hypervector a = hypervector::random(2048, rng);
+    EXPECT_DOUBLE_EQ(cosine(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(cosine(a, -a), -1.0);
+    const hypervector b = hypervector::random(2048, rng);
+    EXPECT_LT(std::abs(cosine(a, b)), 0.1);
+}
+
+TEST(Similarity, CosineOfIntegerVectors) {
+    const std::vector<std::int32_t> a = {1, 2, 3};
+    const std::vector<std::int32_t> b = {2, 4, 6};
+    const std::vector<std::int32_t> c = {-1, -2, -3};
+    EXPECT_NEAR(cosine(std::span<const std::int32_t>(a), b), 1.0, 1e-12);
+    EXPECT_NEAR(cosine(std::span<const std::int32_t>(a), c), -1.0, 1e-12);
+    const std::vector<std::int32_t> zero = {0, 0, 0};
+    EXPECT_DOUBLE_EQ(cosine(std::span<const std::int32_t>(a), zero), 0.0);
+}
+
+TEST(Similarity, MixedQueryClassCosine) {
+    hypervector q(4); // all +1
+    const std::vector<std::int32_t> cls = {3, 3, 3, 3};
+    EXPECT_NEAR(cosine(q, cls), 1.0, 1e-12);
+    q.set_element(0, -1);
+    EXPECT_LT(cosine(q, cls), 1.0);
+}
+
+TEST(Similarity, HammingSimilarity) {
+    uhd::xoshiro256ss rng(13);
+    const hypervector a = hypervector::random(512, rng);
+    EXPECT_DOUBLE_EQ(hamming_similarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(hamming_similarity(a, -a), 0.0);
+    const hypervector b = hypervector::random(512, rng);
+    EXPECT_NEAR(hamming_similarity(a, b), 0.5, 0.1);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+// Cross-module integration tests: full train/test pipelines for both
+// systems, dimension scaling, determinism, and the software-vs-hardware
+// consistency spine (encoder == datapath sim == classifier input).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "uhd/core/model.hpp"
+#include "uhd/data/synthetic.hpp"
+#include "uhd/hdc/baseline_encoder.hpp"
+#include "uhd/hdc/classifier.hpp"
+#include "uhd/hw/report.hpp"
+#include "uhd/sim/baseline_datapath.hpp"
+#include "uhd/sim/uhd_datapath.hpp"
+
+namespace {
+
+using namespace uhd;
+
+class EndToEnd : public ::testing::Test {
+protected:
+    void SetUp() override {
+        train_ = data::make_synthetic_digits(300, 101);
+        test_ = data::make_synthetic_digits(120, 202);
+    }
+
+    data::dataset train_;
+    data::dataset test_;
+};
+
+TEST_F(EndToEnd, BothSystemsLearnTheTask) {
+    core::uhd_config ucfg;
+    ucfg.dim = 1024;
+    const core::uhd_encoder uenc(ucfg, train_.shape());
+    hdc::hd_classifier<core::uhd_encoder> uhd_clf(uenc, 10, hdc::train_mode::raw_sums,
+                                                  hdc::query_mode::integer);
+    uhd_clf.fit(train_);
+    const double uhd_accuracy = uhd_clf.evaluate(test_);
+
+    hdc::baseline_config bcfg;
+    bcfg.dim = 1024;
+    const hdc::baseline_encoder benc(bcfg, train_.shape());
+    hdc::hd_classifier<hdc::baseline_encoder> base_clf(benc, 10);
+    base_clf.fit(train_);
+    const double base_accuracy = base_clf.evaluate(test_);
+
+    EXPECT_GT(uhd_accuracy, 0.55);
+    EXPECT_GT(base_accuracy, 0.55);
+}
+
+TEST_F(EndToEnd, LargerDimensionDoesNotCollapse) {
+    // Accuracy should not fall off a cliff as D grows (soft monotonicity:
+    // the paper's Table IV trend).
+    double previous = 0.0;
+    for (const std::size_t dim : {256u, 1024u}) {
+        core::uhd_config cfg;
+        cfg.dim = dim;
+        const core::uhd_encoder enc(cfg, train_.shape());
+        hdc::hd_classifier<core::uhd_encoder> clf(enc, 10, hdc::train_mode::raw_sums,
+                                                  hdc::query_mode::integer);
+        clf.fit(train_);
+        const double accuracy = clf.evaluate(test_);
+        EXPECT_GT(accuracy, previous - 0.10) << "D=" << dim;
+        previous = accuracy;
+    }
+}
+
+TEST_F(EndToEnd, SingleIterationDeterminism) {
+    // uHD's selling point: i = 1 with zero variance across runs.
+    core::uhd_config cfg;
+    cfg.dim = 512;
+    const core::uhd_encoder enc_a(cfg, train_.shape());
+    const core::uhd_encoder enc_b(cfg, train_.shape());
+    hdc::hd_classifier<core::uhd_encoder> a(enc_a, 10);
+    hdc::hd_classifier<core::uhd_encoder> b(enc_b, 10);
+    a.fit(train_);
+    b.fit(train_);
+    EXPECT_DOUBLE_EQ(a.evaluate(test_), b.evaluate(test_));
+}
+
+TEST_F(EndToEnd, BaselineAccuracyFluctuatesAcrossSeeds) {
+    // The Fig. 6(a) effect: baseline accuracy depends on the random draw.
+    hdc::baseline_config cfg;
+    cfg.dim = 512;
+    hdc::baseline_encoder enc(cfg, train_.shape());
+    std::vector<double> accuracies;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        enc.reseed(seed);
+        hdc::hd_classifier<hdc::baseline_encoder> clf(enc, 10);
+        clf.fit(train_);
+        accuracies.push_back(clf.evaluate(test_));
+    }
+    const auto [lo, hi] = std::minmax_element(accuracies.begin(), accuracies.end());
+    EXPECT_GT(*hi - *lo, 0.0); // not all identical
+}
+
+TEST_F(EndToEnd, SimulatedDatapathFeedsClassifierConsistently) {
+    // The hardware datapath's binarized image hypervector must agree with
+    // the vector the classifier derives from the fast encoder.
+    core::uhd_config cfg;
+    cfg.dim = 256;
+    const core::uhd_encoder enc(cfg, train_.shape());
+    const sim::uhd_datapath_sim datapath(enc);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(datapath.run(train_.image(i)), enc.encode_sign(train_.image(i)));
+    }
+}
+
+TEST_F(EndToEnd, EventDrivenEnergyFavorsUhd) {
+    // Feed measured event counts into the hw model: uHD's per-image energy
+    // must undercut the baseline's on the same image.
+    core::uhd_config ucfg;
+    ucfg.dim = 128;
+    const core::uhd_encoder uenc(ucfg, train_.shape());
+    hdc::baseline_config bcfg;
+    bcfg.dim = 128;
+    const hdc::baseline_encoder benc(bcfg, train_.shape());
+
+    sim::event_counts ue;
+    sim::event_counts be;
+    (void)sim::uhd_datapath_sim(uenc).run(train_.image(0), &ue);
+    (void)sim::baseline_datapath_sim(benc).run(train_.image(0), &be);
+
+    const auto& lib = hw::cell_library::generic_45nm();
+    const hw::hw_module unary_cmp = hw::make_unary_comparator(16);
+    const hw::hw_module binary_cmp = hw::make_binary_comparator(10);
+    const hw::hw_module lfsr = hw::make_lfsr(32);
+    const hw::hw_module binder = hw::make_xor_binder();
+
+    const double uhd_pj =
+        (static_cast<double>(ue.comparator_ops) * unary_cmp.energy_per_op_fj(lib)) * 1e-3;
+    const double base_pj =
+        (static_cast<double>(be.comparator_ops) * binary_cmp.energy_per_op_fj(lib) +
+         static_cast<double>(be.lfsr_steps) * lfsr.energy_per_op_fj(lib) +
+         static_cast<double>(be.xor_binds) * binder.energy_per_op_fj(lib)) *
+        1e-3;
+    EXPECT_LT(uhd_pj, base_pj);
+}
+
+TEST_F(EndToEnd, ModelSurvivesSaveLoadMidWorkflow) {
+    core::uhd_config cfg;
+    cfg.dim = 256;
+    core::uhd_model model(cfg, train_.shape(), 10, hdc::train_mode::raw_sums);
+    model.fit(train_);
+    std::stringstream buffer;
+    model.save(buffer);
+    core::uhd_model loaded = core::uhd_model::load(buffer);
+    // Continue training after reload (dynamic training continuation).
+    loaded.partial_fit(test_.image(0), test_.label(0));
+    EXPECT_GT(loaded.evaluate(test_), 0.3);
+}
+
+TEST(MultiDataset, AllSixDatasetsRunEndToEnd) {
+    for (const auto kind : data::all_dataset_kinds()) {
+        const auto info = data::info_for(kind);
+        const auto train = data::make_synthetic(kind, 10 * info.classes, 5).to_grayscale();
+        const auto test = data::make_synthetic(kind, 4 * info.classes, 6).to_grayscale();
+        core::uhd_config cfg;
+        cfg.dim = 256;
+        const core::uhd_encoder enc(cfg, train.shape());
+        hdc::hd_classifier<core::uhd_encoder> clf(enc, info.classes,
+                                                  hdc::train_mode::raw_sums,
+                                                  hdc::query_mode::integer);
+        clf.fit(train);
+        const double accuracy = clf.evaluate(test);
+        const double chance = 1.0 / static_cast<double>(info.classes);
+        EXPECT_GT(accuracy, chance) << info.name;
+    }
+}
+
+} // namespace

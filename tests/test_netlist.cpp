@@ -1,0 +1,134 @@
+// Tests for the gate-level netlist simulator and the comparator netlists:
+// functional equivalence (exhaustive), toggle accounting, and measured
+// activity feeding the energy model.
+#include <gtest/gtest.h>
+
+#include "uhd/bitstream/unary.hpp"
+#include "uhd/common/error.hpp"
+#include "uhd/common/rng.hpp"
+#include "uhd/hw/netlist.hpp"
+
+namespace {
+
+using namespace uhd::hw;
+
+TEST(Netlist, BasicGateEvaluation) {
+    netlist n;
+    const net_id a = n.add_input("a");
+    const net_id b = n.add_input("b");
+    const net_id and_out = n.add_gate(cell_kind::and2, {a, b});
+    const net_id xor_out = n.add_gate(cell_kind::xor2, {a, b});
+    const net_id inv_out = n.add_gate(cell_kind::inv, {and_out});
+    n.evaluate({true, false});
+    EXPECT_FALSE(n.value(and_out));
+    EXPECT_TRUE(n.value(xor_out));
+    EXPECT_TRUE(n.value(inv_out));
+    n.evaluate({true, true});
+    EXPECT_TRUE(n.value(and_out));
+    EXPECT_FALSE(n.value(xor_out));
+    EXPECT_FALSE(n.value(inv_out));
+}
+
+TEST(Netlist, ToggleCountingSkipsReferenceEvaluation) {
+    netlist n;
+    const net_id a = n.add_input("a");
+    const net_id out = n.add_gate(cell_kind::inv, {a});
+    (void)out;
+    n.evaluate({false}); // reference
+    EXPECT_EQ(n.toggle_count(), 0u);
+    n.evaluate({true}); // inv output flips
+    EXPECT_EQ(n.toggle_count(), 1u);
+    n.evaluate({true}); // no change
+    EXPECT_EQ(n.toggle_count(), 1u);
+    EXPECT_GT(n.measured_activity(), 0.0);
+    EXPECT_GT(n.measured_energy_per_op_fj(cell_library::generic_45nm()), 0.0);
+    n.reset_stats();
+    EXPECT_EQ(n.toggle_count(), 0u);
+}
+
+TEST(Netlist, Validation) {
+    netlist n;
+    const net_id a = n.add_input("a");
+    EXPECT_THROW((void)n.add_gate(cell_kind::and2, {a}), uhd::error);   // fan-in
+    EXPECT_THROW((void)n.add_gate(cell_kind::inv, {99}), uhd::error);   // unknown net
+    EXPECT_THROW((void)n.add_gate(cell_kind::dff, {a, a}), uhd::error); // sequential
+    EXPECT_THROW(n.evaluate({true, false}), uhd::error);                // arity
+    (void)n.add_gate(cell_kind::inv, {a});
+    EXPECT_THROW((void)n.add_input("late"), uhd::error); // inputs after gates
+}
+
+TEST(Netlist, MuxSemantics) {
+    netlist n;
+    const net_id d0 = n.add_input("d0");
+    const net_id d1 = n.add_input("d1");
+    const net_id sel = n.add_input("sel");
+    const net_id out = n.add_gate(cell_kind::mux2, {d0, d1, sel});
+    n.evaluate({true, false, false});
+    EXPECT_TRUE(n.value(out)); // sel=0 -> d0
+    n.evaluate({true, false, true});
+    EXPECT_FALSE(n.value(out)); // sel=1 -> d1
+}
+
+TEST(UnaryComparatorNetlist, ExhaustiveEquivalenceWithBehavioralModel) {
+    for (const std::size_t n_bits : {4u, 7u, 16u}) {
+        unary_comparator_netlist cmp(n_bits);
+        for (std::size_t a = 0; a <= n_bits; ++a) {
+            for (std::size_t b = 0; b <= n_bits; ++b) {
+                EXPECT_EQ(cmp.compare(a, b), a >= b)
+                    << "N=" << n_bits << " a=" << a << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(UnaryComparatorNetlist, MatchesBitstreamComparator) {
+    unary_comparator_netlist cmp(16);
+    for (std::size_t a = 0; a <= 16; ++a) {
+        for (std::size_t b = 0; b <= 16; ++b) {
+            const auto sa = uhd::bs::unary_encode(a, 16);
+            const auto sb = uhd::bs::unary_encode(b, 16);
+            EXPECT_EQ(cmp.compare(a, b), uhd::bs::unary_compare_geq(sa, sb));
+        }
+    }
+}
+
+TEST(UnaryComparatorNetlist, GateCountMatchesInventoryModel) {
+    // netlist: N AND + N INV + N OR + (N-1) AND-tree == the hw_module counts.
+    const unary_comparator_netlist cmp(16);
+    EXPECT_EQ(cmp.circuit.gate_count(), 16u + 16u + 16u + 15u);
+}
+
+TEST(BinaryComparatorNetlist, ExhaustiveEquivalence) {
+    for (const unsigned bits : {1u, 3u, 5u}) {
+        binary_comparator_netlist cmp(bits);
+        const std::uint64_t top = std::uint64_t{1} << bits;
+        for (std::uint64_t a = 0; a < top; ++a) {
+            for (std::uint64_t b = 0; b < top; ++b) {
+                EXPECT_EQ(cmp.compare(a, b), a >= b)
+                    << "bits=" << bits << " a=" << a << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(ComparatorNetlists, MeasuredActivityUnaryBelowBinary) {
+    // The physical basis of checkpoint 2: on identical random operand
+    // sequences, the thermometer comparator toggles fewer gate outputs than
+    // the binary ripple comparator.
+    unary_comparator_netlist unary(16);
+    binary_comparator_netlist binary(10);
+    uhd::xoshiro256ss rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const auto value_a = static_cast<std::size_t>(rng.next_below(17));
+        const auto value_b = static_cast<std::size_t>(rng.next_below(17));
+        (void)unary.compare(value_a, value_b);
+        (void)binary.compare(rng.next_below(1024), rng.next_below(1024));
+    }
+    const auto& lib = cell_library::generic_45nm();
+    EXPECT_LT(unary.circuit.measured_energy_per_op_fj(lib),
+              binary.circuit.measured_energy_per_op_fj(lib));
+    EXPECT_GT(unary.circuit.measured_activity(), 0.0);
+    EXPECT_LT(unary.circuit.measured_activity(), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+// Tests for the n-gram sequence encoder: window algebra, order sensitivity,
+// bundling, and a small synthetic language-identification task.
+#include <gtest/gtest.h>
+
+#include "uhd/common/error.hpp"
+#include "uhd/common/rng.hpp"
+#include "uhd/hdc/ngram.hpp"
+#include "uhd/hdc/similarity.hpp"
+
+namespace {
+
+using namespace uhd::hdc;
+
+TEST(SymbolMemory, DeterministicAndOrthogonalish) {
+    const symbol_item_memory a(27, 2048, 5);
+    const symbol_item_memory b(27, 2048, 5);
+    EXPECT_EQ(a.vector(13), b.vector(13));
+    EXPECT_LT(std::abs(cosine(a.vector(0), a.vector(1))), 0.12);
+    EXPECT_THROW((void)a.vector(27), uhd::error);
+    EXPECT_THROW(symbol_item_memory(1, 256, 1), uhd::error);
+    EXPECT_GT(a.memory_bytes(), 0u);
+}
+
+TEST(NgramEncoder, UnigramWindowIsSymbolVector) {
+    const symbol_item_memory symbols(8, 512, 2);
+    const ngram_encoder encoder(symbols, 1);
+    const std::vector<std::size_t> sequence = {3, 5};
+    EXPECT_EQ(encoder.window(sequence, 0), symbols.vector(3));
+    EXPECT_EQ(encoder.window(sequence, 1), symbols.vector(5));
+}
+
+TEST(NgramEncoder, WindowMatchesManualComposition) {
+    const symbol_item_memory symbols(8, 512, 3);
+    const ngram_encoder encoder(symbols, 3);
+    const std::vector<std::size_t> sequence = {1, 4, 6};
+    const hypervector expected =
+        bind(bind(permute(symbols.vector(1), 2), permute(symbols.vector(4), 1)),
+             symbols.vector(6));
+    EXPECT_EQ(encoder.window(sequence, 0), expected);
+}
+
+TEST(NgramEncoder, OrderSensitivity) {
+    // Permutation-based position coding: "abc" and "cba" must differ.
+    const symbol_item_memory symbols(8, 2048, 4);
+    const ngram_encoder encoder(symbols, 3);
+    const std::vector<std::size_t> abc = {0, 1, 2};
+    const std::vector<std::size_t> cba = {2, 1, 0};
+    const double similarity =
+        cosine(encoder.window(abc, 0), encoder.window(cba, 0));
+    EXPECT_LT(std::abs(similarity), 0.12);
+}
+
+TEST(NgramEncoder, BundleCountsWindows) {
+    const symbol_item_memory symbols(4, 256, 5);
+    const ngram_encoder encoder(symbols, 2);
+    const std::vector<std::size_t> sequence = {0, 1, 2, 3};
+    const accumulator acc = encoder.encode(sequence);
+    // 3 windows of +-1 contributions: parity of every value matches 3.
+    for (std::size_t d = 0; d < acc.dim(); ++d) {
+        EXPECT_LE(std::abs(acc.value(d)), 3);
+        EXPECT_EQ((acc.value(d) + 3) % 2, 0);
+    }
+}
+
+TEST(NgramEncoder, Validation) {
+    const symbol_item_memory symbols(4, 256, 6);
+    EXPECT_THROW(ngram_encoder(symbols, 0), uhd::error);
+    const ngram_encoder encoder(symbols, 3);
+    const std::vector<std::size_t> tiny = {0, 1};
+    EXPECT_THROW((void)encoder.encode(tiny), uhd::error);
+    EXPECT_THROW((void)encoder.window(tiny, 0), uhd::error);
+}
+
+// Synthetic language identification: three "languages" are first-order
+// Markov chains over a 12-letter alphabet with different transition
+// structure; trigram class hypervectors must identify held-out text.
+std::vector<std::size_t> sample_text(std::size_t language, std::size_t length,
+                                     uhd::xoshiro256ss& rng) {
+    const std::size_t alphabet = 12;
+    std::vector<std::size_t> text;
+    std::size_t state = rng.next_below(alphabet);
+    for (std::size_t t = 0; t < length; ++t) {
+        text.push_back(state);
+        // Language-specific transition: a fixed affine map plus noise.
+        const std::size_t stride = 1 + 2 * language; // 1, 3, 5
+        if (rng.next_unit() < 0.75) {
+            state = (state * stride + language + 1) % alphabet;
+        } else {
+            state = rng.next_below(alphabet);
+        }
+    }
+    return text;
+}
+
+TEST(NgramEncoder, LanguageIdentificationEndToEnd) {
+    const symbol_item_memory symbols(12, 4096, 7);
+    const ngram_encoder encoder(symbols, 3);
+
+    // Train one class hypervector per language.
+    uhd::xoshiro256ss rng(99);
+    std::vector<hypervector> classes;
+    for (std::size_t lang = 0; lang < 3; ++lang) {
+        accumulator acc(encoder.dim());
+        for (int sample = 0; sample < 10; ++sample) {
+            acc.add_values(encoder.encode(sample_text(lang, 120, rng)).values());
+        }
+        classes.push_back(acc.sign());
+    }
+
+    // Classify held-out samples.
+    std::size_t correct = 0;
+    const std::size_t trials = 30;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+        const std::size_t truth = trial % 3;
+        const hypervector query = encoder.encode_sign(sample_text(truth, 120, rng));
+        std::size_t best = 0;
+        double best_similarity = -2.0;
+        for (std::size_t c = 0; c < 3; ++c) {
+            const double similarity = cosine(query, classes[c]);
+            if (similarity > best_similarity) {
+                best_similarity = similarity;
+                best = c;
+            }
+        }
+        if (best == truth) ++correct;
+    }
+    EXPECT_GT(static_cast<double>(correct) / static_cast<double>(trials), 0.8);
+}
+
+} // namespace

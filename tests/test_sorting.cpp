@@ -1,0 +1,122 @@
+// Tests for the unary sorting networks (paper reference [16]): the two-gate
+// compare-and-swap law, Batcher network structure, and sorting/median
+// correctness over exhaustive and randomized value sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "uhd/bitstream/sorting.hpp"
+#include "uhd/common/error.hpp"
+#include "uhd/common/rng.hpp"
+
+namespace {
+
+using namespace uhd::bs;
+
+std::vector<std::size_t> decode_all(const std::vector<bitstream>& streams) {
+    std::vector<std::size_t> values;
+    for (const auto& s : streams) values.push_back(unary_decode(s));
+    return values;
+}
+
+TEST(CompareSwap, TwoGatesComputeMinMax) {
+    const auto [mn, mx] = compare_swap(unary_encode(3, 8), unary_encode(6, 8));
+    EXPECT_EQ(unary_decode(mn), 3u);
+    EXPECT_EQ(unary_decode(mx), 6u);
+}
+
+TEST(Network, KnownSizesForPowersOfTwo) {
+    // Batcher odd-even merge sort sizes: n=2 ->1, n=4 ->5, n=8 ->19, n=16 ->63.
+    EXPECT_EQ(network_size(2), 1u);
+    EXPECT_EQ(network_size(4), 5u);
+    EXPECT_EQ(network_size(8), 19u);
+    EXPECT_EQ(network_size(16), 63u);
+}
+
+TEST(Network, KnownDepths) {
+    // Depths: n=2 ->1, n=4 ->3, n=8 ->6, n=16 ->10.
+    EXPECT_EQ(network_depth(2), 1u);
+    EXPECT_EQ(network_depth(4), 3u);
+    EXPECT_EQ(network_depth(8), 6u);
+    EXPECT_EQ(network_depth(16), 10u);
+}
+
+TEST(Network, StagesNeverReuseALane) {
+    for (const std::size_t lanes : {2u, 5u, 8u, 13u, 16u}) {
+        for (const auto& stage : odd_even_merge_network(lanes)) {
+            std::vector<bool> used(lanes, false);
+            for (const auto& [lo, hi] : stage) {
+                EXPECT_LT(lo, hi);
+                EXPECT_FALSE(used[lo]);
+                EXPECT_FALSE(used[hi]);
+                used[lo] = true;
+                used[hi] = true;
+            }
+        }
+    }
+}
+
+class SortingLanes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortingLanes, SortsRandomValueSets) {
+    const std::size_t lanes = GetParam();
+    uhd::xoshiro256ss rng(lanes * 7919);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<bitstream> streams;
+        std::vector<std::size_t> reference;
+        for (std::size_t i = 0; i < lanes; ++i) {
+            const auto v = static_cast<std::size_t>(rng.next_below(17));
+            streams.push_back(unary_encode(v, 16));
+            reference.push_back(v);
+        }
+        std::sort(reference.begin(), reference.end());
+        EXPECT_EQ(decode_all(unary_sort(std::move(streams))), reference);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, SortingLanes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16));
+
+TEST(Sorting, OutputsRemainValidThermometerCodes) {
+    // The 0-1 principle in action: AND/OR of thermometer codes stays a
+    // thermometer code, so the sorted lanes are valid unary streams.
+    std::vector<bitstream> streams = {unary_encode(9, 16), unary_encode(2, 16),
+                                      unary_encode(16, 16), unary_encode(0, 16)};
+    for (const auto& s : unary_sort(std::move(streams))) {
+        EXPECT_TRUE(is_unary(s));
+    }
+}
+
+TEST(Sorting, ExhaustiveThreeLanes) {
+    for (std::size_t a = 0; a <= 4; ++a) {
+        for (std::size_t b = 0; b <= 4; ++b) {
+            for (std::size_t c = 0; c <= 4; ++c) {
+                std::vector<bitstream> streams = {unary_encode(a, 4), unary_encode(b, 4),
+                                                  unary_encode(c, 4)};
+                std::vector<std::size_t> reference = {a, b, c};
+                std::sort(reference.begin(), reference.end());
+                EXPECT_EQ(decode_all(unary_sort(std::move(streams))), reference);
+            }
+        }
+    }
+}
+
+TEST(Median, PicksMiddleValue) {
+    const std::vector<bitstream> streams = {unary_encode(9, 16), unary_encode(1, 16),
+                                            unary_encode(5, 16), unary_encode(13, 16),
+                                            unary_encode(5, 16)};
+    EXPECT_EQ(unary_decode(unary_median(streams)), 5u);
+}
+
+TEST(Median, RequiresOddCount) {
+    const std::vector<bitstream> streams = {unary_encode(1, 8), unary_encode(2, 8)};
+    EXPECT_THROW((void)unary_median(streams), uhd::error);
+}
+
+TEST(Sorting, Validation) {
+    EXPECT_THROW((void)unary_sort({}), uhd::error);
+    std::vector<bitstream> mismatched = {unary_encode(1, 8), unary_encode(1, 9)};
+    EXPECT_THROW((void)unary_sort(std::move(mismatched)), uhd::error);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+// Tests for thermometer coding, the min/max AND/OR laws, and the paper's
+// Fig. 4 unary comparator (exhaustive over all operand pairs).
+#include <gtest/gtest.h>
+
+#include "uhd/bitstream/stream_table.hpp"
+#include "uhd/bitstream/unary.hpp"
+#include "uhd/common/error.hpp"
+
+namespace {
+
+using namespace uhd::bs;
+
+TEST(Unary, EncodeTrailingMatchesPaperExample) {
+    // Paper Section II: X1 -> 0000011 (value 2), X2 -> 0011111 (value 5).
+    EXPECT_EQ(unary_encode(2, 7).to_string(), "0000011");
+    EXPECT_EQ(unary_encode(5, 7).to_string(), "0011111");
+}
+
+TEST(Unary, EncodeLeading) {
+    EXPECT_EQ(unary_encode(3, 7, unary_alignment::ones_leading).to_string(), "1110000");
+}
+
+TEST(Unary, EncodeBounds) {
+    EXPECT_EQ(unary_encode(0, 5).popcount(), 0u);
+    EXPECT_EQ(unary_encode(5, 5).popcount(), 5u);
+    EXPECT_THROW((void)unary_encode(6, 5), uhd::error);
+}
+
+TEST(Unary, IsUnaryDetectsValidCodes) {
+    EXPECT_TRUE(is_unary(bitstream::from_string("0011")));
+    EXPECT_TRUE(is_unary(bitstream::from_string("0000")));
+    EXPECT_TRUE(is_unary(bitstream::from_string("1111")));
+    EXPECT_FALSE(is_unary(bitstream::from_string("0101")));
+    EXPECT_FALSE(is_unary(bitstream::from_string("1001")));
+    EXPECT_TRUE(is_unary(bitstream::from_string("1100"), unary_alignment::ones_leading));
+    EXPECT_FALSE(is_unary(bitstream::from_string("0011"), unary_alignment::ones_leading));
+}
+
+TEST(Unary, DecodeRejectsNonThermometer) {
+    EXPECT_THROW((void)unary_decode(bitstream::from_string("0101")), uhd::error);
+}
+
+TEST(Unary, SaturatingAdd) {
+    const bitstream a = unary_encode(3, 8);
+    const bitstream b = unary_encode(4, 8);
+    EXPECT_EQ(unary_decode(unary_saturating_add(a, b)), 7u);
+    const bitstream c = unary_encode(6, 8);
+    EXPECT_EQ(unary_decode(unary_saturating_add(c, c)), 8u); // saturates
+}
+
+TEST(Unary, AbsDiff) {
+    EXPECT_EQ(unary_abs_diff(unary_encode(2, 8), unary_encode(6, 8)), 4u);
+    EXPECT_EQ(unary_abs_diff(unary_encode(5, 8), unary_encode(5, 8)), 0u);
+}
+
+// Exhaustive property tests over all (a, b) pairs for a given stream length:
+// AND is min, OR is max, XOR is |a-b|, comparator is (a >= b).
+class UnaryPairs : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UnaryPairs, AndIsMinimum) {
+    const std::size_t n = GetParam();
+    for (std::size_t a = 0; a <= n; ++a) {
+        for (std::size_t b = 0; b <= n; ++b) {
+            const bitstream sa = unary_encode(a, n);
+            const bitstream sb = unary_encode(b, n);
+            EXPECT_EQ(unary_decode(unary_min(sa, sb)), std::min(a, b));
+        }
+    }
+}
+
+TEST_P(UnaryPairs, OrIsMaximum) {
+    const std::size_t n = GetParam();
+    for (std::size_t a = 0; a <= n; ++a) {
+        for (std::size_t b = 0; b <= n; ++b) {
+            const bitstream sa = unary_encode(a, n);
+            const bitstream sb = unary_encode(b, n);
+            EXPECT_EQ(unary_decode(unary_max(sa, sb)), std::max(a, b));
+        }
+    }
+}
+
+TEST_P(UnaryPairs, XorIsAbsoluteDifference) {
+    const std::size_t n = GetParam();
+    for (std::size_t a = 0; a <= n; ++a) {
+        for (std::size_t b = 0; b <= n; ++b) {
+            EXPECT_EQ(unary_abs_diff(unary_encode(a, n), unary_encode(b, n)),
+                      (a > b) ? a - b : b - a);
+        }
+    }
+}
+
+TEST_P(UnaryPairs, ComparatorMatchesGreaterEqual) {
+    const std::size_t n = GetParam();
+    for (std::size_t a = 0; a <= n; ++a) {
+        for (std::size_t b = 0; b <= n; ++b) {
+            const bool geq = unary_compare_geq(unary_encode(a, n), unary_encode(b, n));
+            EXPECT_EQ(geq, a >= b) << "a=" << a << " b=" << b << " n=" << n;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(StreamLengths, UnaryPairs,
+                         ::testing::Values(2, 3, 7, 8, 15, 16, 31));
+
+TEST(UnaryComparator, PaperFig4WorkedExample) {
+    // The paper compares data = 2 against Sobol = 5 on 7-bit streams and
+    // expects logic-0 (2 >= 5 is false).
+    const bitstream data = bitstream::from_string("0000011");
+    const bitstream sobol = bitstream::from_string("0011111");
+    EXPECT_FALSE(unary_compare_geq(data, sobol));
+    EXPECT_TRUE(unary_compare_geq(sobol, data));
+    // The intermediate minimum must be the smaller stream.
+    EXPECT_EQ(unary_min(data, sobol), data);
+}
+
+TEST(UnaryComparator, LengthMismatchThrows) {
+    EXPECT_THROW((void)unary_compare_geq(unary_encode(1, 4), unary_encode(1, 5)),
+                 uhd::error);
+}
+
+TEST(StreamTable, HoldsAllLevels) {
+    const unary_stream_table ust(16, 16);
+    EXPECT_EQ(ust.levels(), 16u);
+    EXPECT_EQ(ust.stream_length(), 16u);
+    for (std::size_t q = 0; q < 16; ++q) {
+        EXPECT_EQ(ust.value_of(ust.fetch(q)), q);
+    }
+}
+
+TEST(StreamTable, FetchOutOfRangeThrows) {
+    const unary_stream_table ust(16, 16);
+    EXPECT_THROW((void)ust.fetch(16), uhd::error);
+}
+
+TEST(StreamTable, RejectsImpossibleGeometry) {
+    EXPECT_THROW(unary_stream_table(20, 16), uhd::error); // 19 ones into 16 bits
+}
+
+TEST(StreamTable, MemoryFootprintPositive) {
+    const unary_stream_table ust(16, 16);
+    EXPECT_GT(ust.memory_bytes(), 0u);
+}
+
+TEST(StreamTable, FetchedStreamsCompareLikeValues) {
+    const unary_stream_table ust(16, 16);
+    for (std::size_t a = 0; a < 16; ++a) {
+        for (std::size_t b = 0; b < 16; ++b) {
+            EXPECT_EQ(unary_compare_geq(ust.fetch(a), ust.fetch(b)), a >= b);
+        }
+    }
+}
+
+} // namespace
