@@ -9,8 +9,12 @@
 #include <cstdio>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "uhd/common/config.hpp"
+#include "uhd/common/stopwatch.hpp"
+#include "uhd/common/thread_pool.hpp"
+#include "uhd/core/encoder.hpp"
 #include "uhd/data/idx.hpp"
 #include "uhd/data/synthetic.hpp"
 
@@ -49,6 +53,59 @@ inline std::pair<data::dataset, data::dataset> mnist_pair(std::size_t train_n,
     if (used_real != nullptr) *used_real = false;
     return {data::make_synthetic_digits(train_n, 42),
             data::make_synthetic_digits(test_n, 4242)};
+}
+
+// --- shared encode-throughput measurement ---------------------------------
+//
+// One definition of the metric for every bench that reports encode
+// throughput: effective bytes per image are the threshold-bank bytes the
+// compare loop touches (pixels x dim), and the scalar baseline is always
+// the pinned-scalar oracle encode_scalar().
+
+/// Bank bytes the encode compare loop reads per image.
+inline double encode_bytes_per_image(const core::uhd_encoder& enc) {
+    return static_cast<double>(enc.pixels()) * static_cast<double>(enc.dim());
+}
+
+/// Seconds to encode the first `n` dataset images through the pinned
+/// scalar oracle (the speedup baseline).
+inline double time_encode_scalar(const core::uhd_encoder& enc,
+                                 const data::dataset& ds, std::size_t n) {
+    std::vector<std::int32_t> acc(enc.dim());
+    stopwatch watch;
+    for (std::size_t i = 0; i < n; ++i) enc.encode_scalar(ds.image(i), acc);
+    return watch.seconds();
+}
+
+/// Seconds to encode the first `n` dataset images through the
+/// word-parallel single-image path.
+inline double time_encode_parallel(const core::uhd_encoder& enc,
+                                   const data::dataset& ds, std::size_t n) {
+    std::vector<std::int32_t> acc(enc.dim());
+    stopwatch watch;
+    for (std::size_t i = 0; i < n; ++i) enc.encode(ds.image(i), acc);
+    return watch.seconds();
+}
+
+/// Seconds to encode the first `n` dataset images through encode_batch
+/// (optionally pool-parallel). `out` must hold n * dim() accumulators.
+inline double time_encode_batch(const core::uhd_encoder& enc, const data::dataset& ds,
+                                std::size_t n, std::span<std::int32_t> out,
+                                thread_pool* pool = nullptr) {
+    stopwatch watch;
+    if (n == ds.size()) {
+        enc.encode_batch(ds, out, pool);
+    } else {
+        std::vector<std::uint8_t> flat;
+        flat.reserve(n * ds.shape().pixels());
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto img = ds.image(i);
+            flat.insert(flat.end(), img.begin(), img.end());
+        }
+        watch.reset(); // exclude the staging copy from the measurement
+        enc.encode_batch(flat, n, out, pool);
+    }
+    return watch.seconds();
 }
 
 } // namespace uhd::bench

@@ -1,9 +1,26 @@
 // Kernel micro-benchmarks (google-benchmark): the per-operation costs
-// behind Table I's runtime rows — comparator styles, encode kernels,
-// sequence generation, and similarity search.
+// behind Table I's runtime rows — comparator styles, encode kernels
+// (scalar oracle vs word-parallel), sequence generation, and similarity
+// search.
+//
+// The custom main() additionally runs a direct encode-throughput
+// measurement on 28x28 synthetic MNIST-shaped images at D=1024 (scalar vs
+// word-parallel vs batched vs pool-parallel) and writes the results to
+// BENCH_encode.json (schema documented in bench/README.md; override the
+// path with UHD_BENCH_JSON, the workload with UHD_BENCH_IMAGES).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "uhd/bitstream/unary.hpp"
+#include "uhd/common/config.hpp"
+#include "uhd/common/simd.hpp"
+#include "uhd/common/stopwatch.hpp"
+#include "uhd/common/thread_pool.hpp"
 #include "uhd/core/binarizer.hpp"
 #include "uhd/core/encoder.hpp"
 #include "uhd/data/synthetic.hpp"
@@ -40,6 +57,105 @@ void BM_QuantizedIntegerCompare(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantizedIntegerCompare);
 
+void BM_GeqKernelReference(benchmark::State& state) {
+    // The pinned byte-at-a-time oracle: the baseline every speedup claim
+    // is measured against.
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> thresholds(dim);
+    for (std::size_t d = 0; d < dim; ++d) thresholds[d] = d % 16;
+    std::vector<std::uint16_t> tile(dim, 0);
+    for (auto _ : state) {
+        simd::geq_accumulate_reference(7, thresholds.data(), dim, tile.data());
+        benchmark::DoNotOptimize(tile.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_GeqKernelReference)->Arg(1024)->Arg(8192);
+
+void BM_GeqKernelScalar(benchmark::State& state) {
+    // The portable fallback (compiler may auto-vectorize this one).
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> thresholds(dim);
+    for (std::size_t d = 0; d < dim; ++d) thresholds[d] = d % 16;
+    std::vector<std::uint16_t> tile(dim, 0);
+    for (auto _ : state) {
+        simd::geq_accumulate_scalar(7, thresholds.data(), dim, tile.data());
+        benchmark::DoNotOptimize(tile.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_GeqKernelScalar)->Arg(1024)->Arg(8192);
+
+void BM_GeqBlockKernel(benchmark::State& state) {
+    // The production whole-image kernel: 784 pixels x dim thresholds with
+    // register-tiled u8 counters.
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const std::size_t pixels = 784;
+    std::vector<std::uint8_t> bank(pixels * dim);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        bank[i] = static_cast<std::uint8_t>((i * 2654435761u) % 16);
+    }
+    std::vector<std::uint8_t> q(pixels);
+    for (std::size_t p = 0; p < pixels; ++p) q[p] = p % 16;
+    std::vector<std::int32_t> out(dim, 0);
+    for (auto _ : state) {
+        simd::geq_block_accumulate(q.data(), pixels, bank.data(), dim, dim,
+                                   out.data(), 15);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(pixels * dim));
+}
+BENCHMARK(BM_GeqBlockKernel)->Arg(1024)->Arg(8192);
+
+void BM_GeqKernelSwar(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> thresholds(dim);
+    for (std::size_t d = 0; d < dim; ++d) thresholds[d] = d % 16;
+    std::vector<std::uint16_t> tile(dim, 0);
+    for (auto _ : state) {
+        simd::geq_accumulate_swar(7, thresholds.data(), dim, tile.data());
+        benchmark::DoNotOptimize(tile.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_GeqKernelSwar)->Arg(1024)->Arg(8192);
+
+#ifdef __AVX2__
+void BM_GeqKernelAvx2(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> thresholds(dim);
+    for (std::size_t d = 0; d < dim; ++d) thresholds[d] = d % 16;
+    std::vector<std::uint16_t> tile(dim, 0);
+    for (auto _ : state) {
+        simd::geq_accumulate_avx2(7, thresholds.data(), dim, tile.data());
+        benchmark::DoNotOptimize(tile.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_GeqKernelAvx2)->Arg(1024)->Arg(8192);
+#endif
+
+void BM_UhdEncodeScalar(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    core::uhd_config cfg;
+    cfg.dim = dim;
+    const core::uhd_encoder enc(cfg, digits().shape());
+    std::vector<std::int32_t> acc(dim);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        enc.encode_scalar(digits().image(i++ % digits().size()), acc);
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim * digits().shape().pixels()));
+}
+BENCHMARK(BM_UhdEncodeScalar)->Arg(1024)->Arg(8192);
+
 void BM_UhdEncode(benchmark::State& state) {
     const auto dim = static_cast<std::size_t>(state.range(0));
     core::uhd_config cfg;
@@ -55,6 +171,22 @@ void BM_UhdEncode(benchmark::State& state) {
                             static_cast<std::int64_t>(dim * digits().shape().pixels()));
 }
 BENCHMARK(BM_UhdEncode)->Arg(1024)->Arg(8192);
+
+void BM_UhdEncodeBatch(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    core::uhd_config cfg;
+    cfg.dim = dim;
+    const core::uhd_encoder enc(cfg, digits().shape());
+    std::vector<std::int32_t> out(digits().size() * dim);
+    for (auto _ : state) {
+        enc.encode_batch(digits(), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(digits().size() * dim *
+                                                      digits().shape().pixels()));
+}
+BENCHMARK(BM_UhdEncodeBatch)->Arg(1024);
 
 void BM_BaselineEncode(benchmark::State& state) {
     const auto dim = static_cast<std::size_t>(state.range(0));
@@ -109,6 +241,21 @@ void BM_HypervectorCosine(benchmark::State& state) {
 }
 BENCHMARK(BM_HypervectorCosine)->Arg(1024)->Arg(8192);
 
+void BM_PackedQueryCosine(benchmark::State& state) {
+    // The fixed inner loop of integer-mode inference: packed query against
+    // an int32 class accumulator (word-level sign masks).
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    xoshiro256ss rng(3);
+    const hdc::hypervector query = hdc::hypervector::random(dim, rng);
+    std::vector<std::int32_t> cls(dim);
+    for (auto& v : cls) v = static_cast<std::int32_t>(rng.next() % 2001) - 1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hdc::cosine(query, std::span<const std::int32_t>(cls)));
+    }
+}
+BENCHMARK(BM_PackedQueryCosine)->Arg(1024)->Arg(8192);
+
 void BM_PopcountBinarizerFeed(benchmark::State& state) {
     for (auto _ : state) {
         core::popcount_binarizer bin(784);
@@ -128,4 +275,109 @@ void BM_UstFetch(benchmark::State& state) {
 }
 BENCHMARK(BM_UstFetch);
 
+// --- direct encode-throughput comparison + BENCH_encode.json --------------
+
+struct throughput_entry {
+    std::string name;
+    std::size_t threads;
+    double seconds;
+    double images_per_s;
+    double gb_per_s;
+    double speedup_vs_scalar;
+};
+
+void write_json(const std::string& path, const data::image_shape& shape,
+                std::size_t dim, unsigned quant_levels, std::size_t images,
+                const std::vector<throughput_entry>& entries) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"encode\",\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f,
+                 "  \"workload\": {\"rows\": %zu, \"cols\": %zu, \"dim\": %zu, "
+                 "\"quant_levels\": %u, \"images\": %zu},\n",
+                 shape.rows, shape.cols, dim, quant_levels, images);
+    std::fprintf(f, "  \"simd\": {\"avx2\": %s},\n",
+                 simd::has_avx2() ? "true" : "false");
+    std::fprintf(f, "  \"entries\": [\n");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto& e = entries[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"threads\": %zu, \"seconds\": %.6f, "
+                     "\"images_per_s\": %.1f, \"gb_per_s\": %.3f, "
+                     "\"speedup_vs_scalar\": %.2f}%s\n",
+                     e.name.c_str(), e.threads, e.seconds, e.images_per_s, e.gb_per_s,
+                     e.speedup_vs_scalar, i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+}
+
+void run_encode_throughput() {
+    const std::size_t dim = 1024;
+    const auto images_n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(env_int("UHD_BENCH_IMAGES", 64)));
+    const data::dataset ds = data::make_synthetic_digits(images_n, 7); // 28x28
+    core::uhd_config cfg;
+    cfg.dim = dim;
+    const core::uhd_encoder enc(cfg, ds.shape());
+
+    const double bytes_per_image = bench::encode_bytes_per_image(enc);
+    std::vector<throughput_entry> entries;
+
+    const auto record = [&](const std::string& name, std::size_t threads,
+                            double seconds, std::size_t images) {
+        throughput_entry e;
+        e.name = name;
+        e.threads = threads;
+        e.seconds = seconds;
+        e.images_per_s = static_cast<double>(images) / seconds;
+        e.gb_per_s = e.images_per_s * bytes_per_image * 1e-9;
+        e.speedup_vs_scalar = entries.empty() ? 1.0 : entries.front().seconds / seconds;
+        entries.push_back(e);
+        std::printf("%-28s %8.1f img/s %8.3f GB/s  %5.2fx\n", name.c_str(),
+                    e.images_per_s, e.gb_per_s, e.speedup_vs_scalar);
+    };
+
+    std::printf("\n== encode throughput: 28x28, D=%zu, xi=%u, %zu images ==\n", dim,
+                cfg.quant_levels, images_n);
+
+    record("encode_scalar", 1, bench::time_encode_scalar(enc, ds, images_n),
+           images_n);
+    record("encode_word_parallel", 1, bench::time_encode_parallel(enc, ds, images_n),
+           images_n);
+
+    std::vector<std::int32_t> out(images_n * dim);
+    record("encode_batch", 1, bench::time_encode_batch(enc, ds, images_n, out),
+           images_n);
+    // parallel_for runs one chunk on the calling thread, so a pool of
+    // N-1 workers computes on N threads; `threads` reports compute threads.
+    for (const std::size_t threads : {2u, 4u}) {
+        thread_pool pool(threads - 1);
+        record("encode_batch_pool" + std::to_string(threads), threads,
+               bench::time_encode_batch(enc, ds, images_n, out, &pool), images_n);
+    }
+
+    const double speedup = entries[0].seconds / entries[1].seconds;
+    std::printf("word-parallel vs scalar single-thread speedup: %.2fx %s\n", speedup,
+                speedup >= 5.0 ? "(target >= 5x: PASS)" : "(target >= 5x: MISS)");
+
+    write_json(env_string("UHD_BENCH_JSON", "BENCH_encode.json"), ds.shape(), dim,
+               cfg.quant_levels, images_n, entries);
+}
+
 } // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    run_encode_throughput();
+    return 0;
+}

@@ -13,9 +13,40 @@
 #include "bench_common.hpp"
 #include "uhd/common/stopwatch.hpp"
 #include "uhd/common/table.hpp"
+#include "uhd/common/thread_pool.hpp"
 #include "uhd/core/encoder.hpp"
 #include "uhd/hdc/baseline_encoder.hpp"
 #include "uhd/hdc/classifier.hpp"
+
+namespace {
+
+/// Encode-throughput report for one encoder at one D: scalar oracle vs
+/// word-parallel vs pool-batched, in images/s and effective GB/s of
+/// threshold-bank traffic (shared measurement helpers in bench_common.hpp).
+void report_encode_throughput(const uhd::core::uhd_encoder& enc,
+                              const uhd::data::dataset& ds) {
+    using namespace uhd;
+    const std::size_t n = ds.size() < 64 ? ds.size() : 64;
+    const double bytes_per_image = bench::encode_bytes_per_image(enc);
+
+    const double scalar_s = bench::time_encode_scalar(enc, ds, n);
+    const double parallel_s = bench::time_encode_parallel(enc, ds, n);
+    std::vector<std::int32_t> out(n * enc.dim());
+    const double batched_s =
+        bench::time_encode_batch(enc, ds, n, out, &thread_pool::shared());
+
+    const auto line = [&](const char* name, double seconds) {
+        const double ips = static_cast<double>(n) / seconds;
+        std::printf("#   %-22s %9.1f img/s %7.3f GB/s  %5.2fx\n", name, ips,
+                    ips * bytes_per_image * 1e-9, scalar_s / seconds);
+    };
+    std::printf("# encode throughput at D=%zu (%zu images):\n", enc.dim(), n);
+    line("scalar oracle", scalar_s);
+    line("word-parallel", parallel_s);
+    line("batched (shared pool)", batched_s);
+}
+
+} // namespace
 
 int main() {
     using namespace uhd;
@@ -23,8 +54,10 @@ int main() {
     const auto [train, test] = bench::mnist_pair(w.train_n, w.test_n);
 
     std::printf("== Table IV: MNIST accuracy, baseline (avg over i) vs uHD (i=1) ==\n");
-    std::printf("# %zu train / %zu test images, baseline iterations: %zu\n\n",
+    std::printf("# %zu train / %zu test images, baseline iterations: %zu\n",
                 train.size(), test.size(), w.iters);
+    std::printf("# batch engine: %zu compute threads (shared-pool workers + caller)\n\n",
+                thread_pool::shared().size() + 1);
 
     const std::vector<std::size_t> paper_checkpoints = {1, 5, 20, 50, 75, 100};
     text_table table;
@@ -49,7 +82,8 @@ int main() {
             per_iteration.push_back(clf.evaluate(test));
         }
 
-        // uHD: one deterministic pass.
+        // uHD: one deterministic pass; inference through the pooled batch
+        // engine (bit-identical to serial evaluation for any thread count).
         core::uhd_config ucfg;
         ucfg.dim = dim;
         const core::uhd_encoder uhd(ucfg, train.shape());
@@ -57,7 +91,9 @@ int main() {
             uhd, train.num_classes(), hdc::train_mode::raw_sums,
             hdc::query_mode::integer);
         uhd_clf.fit(train);
-        const double uhd_accuracy = uhd_clf.evaluate(test);
+        const double uhd_accuracy = uhd_clf.evaluate(test, nullptr,
+                                                     &thread_pool::shared());
+        report_encode_throughput(uhd, test);
 
         std::vector<std::string> cells = {dim == 1024   ? "1K"
                                           : dim == 2048 ? "2K"

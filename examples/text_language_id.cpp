@@ -49,7 +49,7 @@ int main() {
         }
         classes.push_back(acc.sign());
         std::printf("language %zu class hypervector trained (%zu trigram windows/sample)\n",
-                    lang, 200 - 2);
+                    lang, static_cast<std::size_t>(200 - 2));
     }
 
     // Classify held-out text of decreasing length: hypervector similarity

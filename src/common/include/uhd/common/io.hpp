@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -30,6 +31,11 @@ std::int64_t read_i64(std::istream& is);
 double read_f64(std::istream& is);
 std::string read_string(std::istream& is);
 
+/// Write a span of trivially-copyable elements (length-prefixed), straight
+/// from the caller's storage — no intermediate copy.
+template <typename T>
+void write_pod_span(std::ostream& os, std::span<const T> v);
+
 /// Write a vector of trivially-copyable elements (length-prefixed).
 template <typename T>
 void write_pod_vector(std::ostream& os, const std::vector<T>& v);
@@ -44,10 +50,15 @@ void write_bytes(std::ostream& os, const void* data, std::size_t n);
 void read_bytes(std::istream& is, void* data, std::size_t n);
 
 template <typename T>
-void write_pod_vector(std::ostream& os, const std::vector<T>& v) {
+void write_pod_span(std::ostream& os, std::span<const T> v) {
     static_assert(std::is_trivially_copyable_v<T>, "POD serialization only");
     write_u64(os, static_cast<std::uint64_t>(v.size()));
     if (!v.empty()) write_bytes(os, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+void write_pod_vector(std::ostream& os, const std::vector<T>& v) {
+    write_pod_span(os, std::span<const T>(v.data(), v.size()));
 }
 
 template <typename T>

@@ -1,0 +1,361 @@
+// Word-parallel kernels for the two inner loops of the uHD software
+// datapath (the hot paths behind Table I's runtime rows):
+//
+//  1. threshold compare-accumulate — geq16[d] += (q >= thresholds[d]) for a
+//     whole row of quantized Sobol thresholds. Three implementations:
+//       * scalar      — the byte-at-a-time correctness oracle
+//       * SWAR/u64    — 8 thresholds per step on any 64-bit machine
+//                       (requires all operands <= 127, which holds for
+//                       every practical quantization: xi <= 128)
+//       * AVX2        — 32 thresholds per step via unsigned max+compare,
+//                       compiled only under __AVX2__
+//     Counts accumulate in uint16_t tiles; callers flush the tile into the
+//     int32 bundle accumulator with add_u16_to_i32() before a tile can
+//     overflow (i.e. at least once every 65535 pixels).
+//
+//  2. packed popcount/dot reductions over the 64-bit words of bit-packed
+//     hypervectors — whole-word popcounts and the sign-masked sum that
+//     turns a packed bipolar query into an integer dot product.
+//
+// All kernels are deterministic and bit-exact against their scalar
+// references; tests/test_simd_kernels.cpp enforces this over randomized
+// inputs for every implementation the build enables.
+#ifndef UHD_COMMON_SIMD_HPP
+#define UHD_COMMON_SIMD_HPP
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
+// Marker for reference kernels that must stay byte-at-a-time scalar code:
+// they are the oracle the word-parallel kernels are measured against, so
+// letting the compiler auto-vectorize them would silently turn the
+// baseline into another SIMD implementation.
+#if defined(__clang__)
+#define UHD_SCALAR_REFERENCE __attribute__((noinline))
+#define UHD_NOVECTOR_LOOP _Pragma("clang loop vectorize(disable) interleave(disable)")
+#elif defined(__GNUC__)
+#define UHD_SCALAR_REFERENCE \
+    __attribute__((noinline, optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#define UHD_NOVECTOR_LOOP
+#else
+#define UHD_SCALAR_REFERENCE
+#define UHD_NOVECTOR_LOOP
+#endif
+
+namespace uhd::simd {
+
+/// Every byte of the word set to `b`.
+[[nodiscard]] constexpr std::uint64_t splat8(std::uint8_t b) noexcept {
+    return 0x0101010101010101ULL * b;
+}
+
+/// Highest threshold value the SWAR kernel accepts (both q and thresholds).
+inline constexpr std::uint8_t swar_max_value = 127;
+
+/// Per-byte mask (0x80 set) of bytes where q >= x, for bytes <= 127.
+///
+/// With H = 0x80 splatted, (q|H) - x stays within each byte (no borrow can
+/// cross a byte boundary because q|H >= 0x80 and x <= 0x7F), and the high
+/// bit of each byte survives exactly when q >= x.
+[[nodiscard]] constexpr std::uint64_t geq_mask_swar(std::uint64_t q_splat,
+                                                   std::uint64_t x) noexcept {
+    constexpr std::uint64_t high = 0x8080808080808080ULL;
+    return ((q_splat | high) - x) & high;
+}
+
+/// Scalar kernel: geq16[d] += (q >= thresholds[d]) for d in [0, dim).
+/// Used for vector-width tails and as the portable fallback; the compiler
+/// may auto-vectorize it.
+inline void geq_accumulate_scalar(std::uint8_t q, const std::uint8_t* thresholds,
+                                  std::size_t dim, std::uint16_t* geq16) noexcept {
+    for (std::size_t d = 0; d < dim; ++d) {
+        geq16[d] = static_cast<std::uint16_t>(geq16[d] + (q >= thresholds[d]));
+    }
+}
+
+/// True byte-at-a-time oracle: same contract as geq_accumulate_scalar but
+/// pinned to scalar code (see UHD_SCALAR_REFERENCE) so speedup numbers are
+/// measured against a genuinely scalar baseline.
+UHD_SCALAR_REFERENCE inline void geq_accumulate_reference(
+    std::uint8_t q, const std::uint8_t* thresholds, std::size_t dim,
+    std::uint16_t* geq16) noexcept {
+    UHD_NOVECTOR_LOOP
+    for (std::size_t d = 0; d < dim; ++d) {
+        geq16[d] = static_cast<std::uint16_t>(geq16[d] + (q >= thresholds[d]));
+    }
+}
+
+/// SWAR kernel: 8 thresholds per 64-bit step. Preconditions: q <= 127 and
+/// every threshold <= 127 (guaranteed when quant_levels <= 128).
+inline void geq_accumulate_swar(std::uint8_t q, const std::uint8_t* thresholds,
+                                std::size_t dim, std::uint16_t* geq16) noexcept {
+    const std::uint64_t q_splat = splat8(q);
+    std::size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+        std::uint64_t x;
+        __builtin_memcpy(&x, thresholds + d, 8);
+        // 0/1 per byte of the comparison result.
+        const std::uint64_t ones = geq_mask_swar(q_splat, x) >> 7;
+        // Spread the eight 0/1 bytes into two words of four u16 lanes each
+        // and add them into the accumulator tile; lane adds cannot carry
+        // into a neighbour because each lane grows by at most 1 per call
+        // and the caller flushes before 65535 pixels.
+        const std::uint64_t lo = ((ones & 0x00000000000000FFULL)) |
+                                 ((ones & 0x000000000000FF00ULL) << 8) |
+                                 ((ones & 0x0000000000FF0000ULL) << 16) |
+                                 ((ones & 0x00000000FF000000ULL) << 24);
+        const std::uint64_t hi_bytes = ones >> 32;
+        const std::uint64_t hi = ((hi_bytes & 0x00000000000000FFULL)) |
+                                 ((hi_bytes & 0x000000000000FF00ULL) << 8) |
+                                 ((hi_bytes & 0x0000000000FF0000ULL) << 16) |
+                                 ((hi_bytes & 0x00000000FF000000ULL) << 24);
+        std::uint64_t acc_lo;
+        std::uint64_t acc_hi;
+        __builtin_memcpy(&acc_lo, geq16 + d, 8);
+        __builtin_memcpy(&acc_hi, geq16 + d + 4, 8);
+        acc_lo += lo;
+        acc_hi += hi;
+        __builtin_memcpy(geq16 + d, &acc_lo, 8);
+        __builtin_memcpy(geq16 + d + 4, &acc_hi, 8);
+    }
+    geq_accumulate_scalar(q, thresholds + d, dim - d, geq16 + d);
+}
+
+#ifdef __AVX2__
+/// AVX2 kernel: 32 thresholds per step, any byte values. The unsigned
+/// comparison is max_epu8(q, x) == q; the 0xFF/0x00 byte mask sign-extends
+/// to -1/0 in u16 lanes, so subtracting it adds the comparison result.
+inline void geq_accumulate_avx2(std::uint8_t q, const std::uint8_t* thresholds,
+                                std::size_t dim, std::uint16_t* geq16) noexcept {
+    const __m256i vq = _mm256_set1_epi8(static_cast<char>(q));
+    std::size_t d = 0;
+    for (; d + 32 <= dim; d += 32) {
+        const __m256i row =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(thresholds + d));
+        const __m256i mask = _mm256_cmpeq_epi8(_mm256_max_epu8(vq, row), vq);
+        const __m256i lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(mask));
+        const __m256i hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(mask, 1));
+        __m256i* acc = reinterpret_cast<__m256i*>(geq16 + d);
+        _mm256_storeu_si256(acc, _mm256_sub_epi16(_mm256_loadu_si256(acc), lo));
+        __m256i* acc2 = reinterpret_cast<__m256i*>(geq16 + d + 16);
+        _mm256_storeu_si256(acc2, _mm256_sub_epi16(_mm256_loadu_si256(acc2), hi));
+    }
+    geq_accumulate_scalar(q, thresholds + d, dim - d, geq16 + d);
+}
+#endif
+
+/// True when the build carries the AVX2 kernel bodies.
+[[nodiscard]] constexpr bool has_avx2() noexcept {
+#ifdef __AVX2__
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// Best available compare-accumulate kernel. `max_value` is an upper bound
+/// on q and on every threshold (the encoder passes quant_levels - 1); it
+/// selects whether the SWAR kernel is admissible on non-AVX2 builds.
+inline void geq_accumulate(std::uint8_t q, const std::uint8_t* thresholds,
+                           std::size_t dim, std::uint16_t* geq16,
+                           std::uint8_t max_value) noexcept {
+#ifdef __AVX2__
+    (void)max_value;
+    geq_accumulate_avx2(q, thresholds, dim, geq16);
+#else
+    if (max_value <= swar_max_value) {
+        geq_accumulate_swar(q, thresholds, dim, geq16);
+    } else {
+        geq_accumulate_scalar(q, thresholds, dim, geq16);
+    }
+#endif
+}
+
+/// Flush a u16 tile into the int32 accumulator: out[d] += geq16[d].
+inline void add_u16_to_i32(const std::uint16_t* geq16, std::size_t dim,
+                           std::int32_t* out) noexcept {
+    for (std::size_t d = 0; d < dim; ++d) out[d] += geq16[d];
+}
+
+// --- whole-image block kernels --------------------------------------------
+//
+// out[d] += sum_{p in [0, npix)} (q[p] >= bank[p * stride + d]) — the full
+// encode inner double-loop in one call. The wide implementations tile the
+// dimension axis so the per-dimension counters live in registers as u8
+// lanes, flushed into the int32 output at least every 255 pixels.
+
+/// Portable fallback for the block kernel: per-pixel rows through the u16
+/// kernel, flushed before a u16 lane can overflow.
+inline void geq_block_accumulate_scalar(const std::uint8_t* q, std::size_t npix,
+                                        const std::uint8_t* bank, std::size_t stride,
+                                        std::size_t dim, std::int32_t* out) {
+    std::vector<std::uint16_t> tile(dim, 0);
+    std::size_t pixels_in_tile = 0;
+    for (std::size_t p = 0; p < npix; ++p) {
+        geq_accumulate_scalar(q[p], bank + p * stride, dim, tile.data());
+        if (++pixels_in_tile == 65535) {
+            add_u16_to_i32(tile.data(), dim, out);
+            std::fill(tile.begin(), tile.end(), std::uint16_t{0});
+            pixels_in_tile = 0;
+        }
+    }
+    if (pixels_in_tile != 0) add_u16_to_i32(tile.data(), dim, out);
+}
+
+/// SWAR block kernel: 8-dimension tiles with eight u8 counters packed in
+/// one u64, flushed every 255 pixels. Preconditions as geq_accumulate_swar
+/// (all values <= 127).
+inline void geq_block_accumulate_swar(const std::uint8_t* q, std::size_t npix,
+                                      const std::uint8_t* bank, std::size_t stride,
+                                      std::size_t dim, std::int32_t* out) {
+    constexpr std::uint64_t low_bits = 0x0101010101010101ULL;
+    std::size_t d = 0;
+    for (; d + 8 <= dim; d += 8) {
+        std::uint64_t counters = 0;
+        std::size_t pixels_in_tile = 0;
+        const auto flush = [&] {
+            for (int lane = 0; lane < 8; ++lane) {
+                out[d + static_cast<std::size_t>(lane)] +=
+                    static_cast<std::int32_t>((counters >> (8 * lane)) & 0xFF);
+            }
+            counters = 0;
+            pixels_in_tile = 0;
+        };
+        for (std::size_t p = 0; p < npix; ++p) {
+            std::uint64_t x;
+            __builtin_memcpy(&x, bank + p * stride + d, 8);
+            counters += (geq_mask_swar(splat8(q[p]), x) >> 7) & low_bits;
+            if (++pixels_in_tile == 255) flush();
+        }
+        if (pixels_in_tile != 0) flush();
+    }
+    if (d < dim) {
+        geq_block_accumulate_scalar(q, npix, bank + d, stride, dim - d, out + d);
+    }
+}
+
+#ifdef __AVX2__
+/// AVX2 block kernel: 128-dimension tiles held in four ymm registers of u8
+/// counters. Per pixel and 32 dimensions the loop is one load, an unsigned
+/// max+compare, and a byte subtract (the 0xFF mask adds 1) — no
+/// accumulator memory traffic until the every-255-pixel flush.
+inline void geq_block_accumulate_avx2(const std::uint8_t* q, std::size_t npix,
+                                      const std::uint8_t* bank, std::size_t stride,
+                                      std::size_t dim, std::int32_t* out) {
+    constexpr std::size_t tile_dims = 128;
+    const auto flush32 = [](__m256i counters, std::int32_t* dst) {
+        alignas(32) std::uint8_t lanes[32];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), counters);
+        for (int i = 0; i < 32; ++i) dst[i] += lanes[i];
+    };
+    std::size_t d = 0;
+    for (; d + tile_dims <= dim; d += tile_dims) {
+        __m256i c0 = _mm256_setzero_si256();
+        __m256i c1 = _mm256_setzero_si256();
+        __m256i c2 = _mm256_setzero_si256();
+        __m256i c3 = _mm256_setzero_si256();
+        std::size_t pixels_in_tile = 0;
+        const auto flush = [&] {
+            flush32(c0, out + d);
+            flush32(c1, out + d + 32);
+            flush32(c2, out + d + 64);
+            flush32(c3, out + d + 96);
+            c0 = c1 = c2 = c3 = _mm256_setzero_si256();
+            pixels_in_tile = 0;
+        };
+        for (std::size_t p = 0; p < npix; ++p) {
+            const __m256i vq = _mm256_set1_epi8(static_cast<char>(q[p]));
+            const std::uint8_t* row = bank + p * stride + d;
+            const auto step = [&](const std::uint8_t* src, __m256i counters) {
+                const __m256i x =
+                    _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+                const __m256i mask = _mm256_cmpeq_epi8(_mm256_max_epu8(vq, x), vq);
+                return _mm256_sub_epi8(counters, mask);
+            };
+            c0 = step(row, c0);
+            c1 = step(row + 32, c1);
+            c2 = step(row + 64, c2);
+            c3 = step(row + 96, c3);
+            if (++pixels_in_tile == 255) flush();
+        }
+        if (pixels_in_tile != 0) flush();
+    }
+    if (d < dim) {
+        geq_block_accumulate_scalar(q, npix, bank + d, stride, dim - d, out + d);
+    }
+}
+#endif
+
+/// Best available block kernel (see geq_accumulate for the `max_value`
+/// contract).
+inline void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
+                                 const std::uint8_t* bank, std::size_t stride,
+                                 std::size_t dim, std::int32_t* out,
+                                 std::uint8_t max_value) {
+#ifdef __AVX2__
+    (void)max_value;
+    geq_block_accumulate_avx2(q, npix, bank, stride, dim, out);
+#else
+    if (max_value <= swar_max_value) {
+        geq_block_accumulate_swar(q, npix, bank, stride, dim, out);
+    } else {
+        geq_block_accumulate_scalar(q, npix, bank, stride, dim, out);
+    }
+#endif
+}
+
+/// Population count over `n` packed words.
+[[nodiscard]] inline std::uint64_t popcount_words(const std::uint64_t* w,
+                                                  std::size_t n) noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) total += std::popcount(w[i]);
+    return total;
+}
+
+/// popcount(a AND b) over `n` packed words (unary/bitstream overlap).
+[[nodiscard]] inline std::uint64_t and_popcount_words(const std::uint64_t* a,
+                                                      const std::uint64_t* b,
+                                                      std::size_t n) noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] & b[i]);
+    return total;
+}
+
+/// popcount(a XOR b) over `n` packed words (Hamming distance kernel).
+[[nodiscard]] inline std::uint64_t xor_popcount_words(const std::uint64_t* a,
+                                                      const std::uint64_t* b,
+                                                      std::size_t n) noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] ^ b[i]);
+    return total;
+}
+
+/// Sum of v[i] over the set bits of a packed mask covering n values
+/// (mask words beyond bit n must be zero — the bitstream tail invariant).
+/// This is the kernel behind the packed-query integer dot product:
+/// with bit 1 = -1, dot(query, v) = sum(v) - 2 * masked_sum(mask, v).
+[[nodiscard]] inline std::int64_t masked_sum_i32(const std::uint64_t* mask,
+                                                 const std::int32_t* v,
+                                                 std::size_t n) noexcept {
+    std::int64_t total = 0;
+    const std::size_t full_words = n / 64;
+    for (std::size_t wi = 0; wi <= full_words; ++wi) {
+        const std::size_t base = wi * 64;
+        if (base >= n) break;
+        for (std::uint64_t m = mask[wi]; m != 0; m &= m - 1) {
+            total += v[base + static_cast<std::size_t>(std::countr_zero(m))];
+        }
+    }
+    return total;
+}
+
+} // namespace uhd::simd
+
+#endif // UHD_COMMON_SIMD_HPP

@@ -1,0 +1,72 @@
+// Fixed-size worker pool with a deterministic parallel-for.
+//
+// The pool exists for the batch engine: encode_batch / predict_batch /
+// evaluate split their image ranges into contiguous chunks and each chunk
+// writes only its own output slots, so results are bit-identical for every
+// thread count (including 0 workers = inline execution). Tests enforce
+// that determinism.
+//
+// The shared() pool is sized from UHD_THREADS when set, otherwise from
+// std::thread::hardware_concurrency().
+#ifndef UHD_COMMON_THREAD_POOL_HPP
+#define UHD_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uhd {
+
+/// Worker pool running [begin, end) range chunks.
+class thread_pool {
+public:
+    /// Start `threads` workers; 0 means hardware_concurrency (min 1).
+    explicit thread_pool(std::size_t threads = 0);
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    ~thread_pool();
+
+    /// Number of worker threads.
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Run fn(begin, end) over a partition of [0, n) across the workers and
+    /// the calling thread; returns when every chunk is done. fn must be
+    /// safe to call concurrently on disjoint ranges. The first exception
+    /// thrown by any chunk is rethrown on the caller.
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /// Process-wide pool (UHD_THREADS override, else hardware concurrency).
+    [[nodiscard]] static thread_pool& shared();
+
+    /// Optional-pool dispatch shared by the batch APIs: run on the pool
+    /// when one is given, inline on the caller otherwise. Results are
+    /// identical either way (see parallel_for).
+    static void maybe_parallel_for(thread_pool* pool, std::size_t n,
+                                   const std::function<void(std::size_t, std::size_t)>& fn) {
+        if (pool != nullptr) {
+            pool->parallel_for(n, fn);
+        } else if (n != 0) {
+            fn(0, n);
+        }
+    }
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+};
+
+} // namespace uhd
+
+#endif // UHD_COMMON_THREAD_POOL_HPP

@@ -1,9 +1,11 @@
 #include "uhd/core/encoder.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "uhd/bitstream/unary.hpp"
 #include "uhd/common/error.hpp"
+#include "uhd/common/simd.hpp"
 
 namespace uhd::core {
 
@@ -26,6 +28,11 @@ uhd_encoder::uhd_encoder(const uhd_config& config, data::image_shape shape,
     UHD_REQUIRE(bank_.dims() == shape.pixels() && bank_.samples() == config.dim &&
                     bank_.levels() == config.quant_levels,
                 "threshold bank geometry does not match the configuration");
+
+    for (unsigned x = 0; x < 256; ++x) {
+        quant_lut_[x] = ld::quantize_unit(static_cast<double>(x) / 255.0,
+                                          config_.quant_levels);
+    }
 
     // Per-pixel threshold CDF: how many of the pixel's D thresholds a given
     // quantized intensity reaches. Used for exact mean-centering.
@@ -60,24 +67,96 @@ void uhd_encoder::encode(std::span<const std::uint8_t> image,
     UHD_REQUIRE(image.size() == shape_.pixels(), "image size mismatch");
     UHD_REQUIRE(out.size() == config_.dim, "output accumulator size mismatch");
 
-    // geq[d] counts pixels whose quantized intensity reaches the threshold;
-    // the centered bundle is 2 * geq - 2 * TOB (see doubled_threshold).
-    std::vector<std::uint16_t> geq(config_.dim, 0);
+    // Word-parallel geq counts: quantize the image once, then run the
+    // whole pixel x dimension compare loop through the block kernel
+    // (register-tiled u8 counters, flushed into `out` every <= 255 pixels).
+    const std::uint8_t max_value = static_cast<std::uint8_t>(
+        std::min<unsigned>(config_.quant_levels - 1, 255));
+    // Reused per thread: the batch engine calls encode() once per image
+    // from every pool worker, so per-call allocation would dominate.
+    static thread_local std::vector<std::uint8_t> quantized;
+    quantized.resize(image.size());
     for (std::size_t p = 0; p < image.size(); ++p) {
-        const std::uint8_t q = quantize_intensity(image[p]);
-        const std::uint8_t* row = bank_.row(p).data();
-        for (std::size_t d = 0; d < config_.dim; ++d) {
-            geq[d] = static_cast<std::uint16_t>(geq[d] + (q >= row[d]));
-        }
+        quantized[p] = quantize_intensity(image[p]);
     }
+    std::fill(out.begin(), out.end(), 0);
+    simd::geq_block_accumulate(quantized.data(), quantized.size(), bank_.data().data(),
+                               bank_.samples(), config_.dim, out.data(), max_value);
     const std::int32_t tau2 = doubled_threshold(image);
     for (std::size_t d = 0; d < config_.dim; ++d) {
-        out[d] = 2 * static_cast<std::int32_t>(geq[d]) - tau2;
+        out[d] = 2 * out[d] - tau2;
     }
 }
 
+void uhd_encoder::encode_scalar(std::span<const std::uint8_t> image,
+                                std::span<std::int32_t> out) const {
+    UHD_REQUIRE(image.size() == shape_.pixels(), "image size mismatch");
+    UHD_REQUIRE(out.size() == config_.dim, "output accumulator size mismatch");
+
+    // geq[d] counts pixels whose quantized intensity reaches the threshold;
+    // the centered bundle is 2 * geq - 2 * TOB (see doubled_threshold).
+    // The inner loop is the pinned-scalar reference kernel: this path is
+    // the oracle and benchmark baseline, so it must stay byte-at-a-time
+    // even under -O3 -march=native auto-vectorization.
+    std::vector<std::uint16_t> geq(config_.dim, 0);
+    std::vector<std::int32_t> totals(config_.dim, 0);
+    std::size_t pixels_in_tile = 0;
+    for (std::size_t p = 0; p < image.size(); ++p) {
+        const std::uint8_t q = quantize_intensity(image[p]);
+        simd::geq_accumulate_reference(q, bank_.row(p).data(), config_.dim, geq.data());
+        if (++pixels_in_tile == 65535) {
+            simd::add_u16_to_i32(geq.data(), config_.dim, totals.data());
+            std::fill(geq.begin(), geq.end(), std::uint16_t{0});
+            pixels_in_tile = 0;
+        }
+    }
+    if (pixels_in_tile != 0) {
+        simd::add_u16_to_i32(geq.data(), config_.dim, totals.data());
+    }
+    const std::int32_t tau2 = doubled_threshold(image);
+    for (std::size_t d = 0; d < config_.dim; ++d) {
+        out[d] = 2 * totals[d] - tau2;
+    }
+}
+
+void uhd_encoder::encode_batch(std::span<const std::uint8_t> images, std::size_t count,
+                               std::span<std::int32_t> out, thread_pool* pool) const {
+    const std::size_t pixels = shape_.pixels();
+    UHD_REQUIRE(images.size() == count * pixels, "batch image buffer size mismatch");
+    UHD_REQUIRE(out.size() == count * config_.dim, "batch output size mismatch");
+    thread_pool::maybe_parallel_for(pool, count, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            encode(images.subspan(i * pixels, pixels),
+                   out.subspan(i * config_.dim, config_.dim));
+        }
+    });
+}
+
+void uhd_encoder::encode_batch(const data::dataset& set, std::span<std::int32_t> out,
+                               thread_pool* pool) const {
+    UHD_REQUIRE(set.shape() == shape_, "dataset shape mismatch");
+    UHD_REQUIRE(out.size() == set.size() * config_.dim, "batch output size mismatch");
+    thread_pool::maybe_parallel_for(pool, set.size(),
+                                    [&](std::size_t begin, std::size_t end) {
+                                        for (std::size_t i = begin; i < end; ++i) {
+                                            encode(set.image(i),
+                                                   out.subspan(i * config_.dim,
+                                                               config_.dim));
+                                        }
+                                    });
+}
+
 void uhd_encoder::encode_unary(std::span<const std::uint8_t> image,
-                               std::span<std::int32_t> out) const {
+                               std::span<std::int32_t> out,
+                               unary_fidelity fidelity) const {
+    if (fidelity == unary_fidelity::monotone_fast) {
+        // A thermometer stream's value is its popcount, and both operands
+        // of the Fig. 4 comparator are fetched from the same UST (same
+        // length, same alignment), so unary_compare_geq(U[q], U[s])
+        // is exactly q >= s — the comparison encode() already performs.
+        encode(image, out);
+        return;
+    }
     UHD_REQUIRE(image.size() == shape_.pixels(), "image size mismatch");
     UHD_REQUIRE(out.size() == config_.dim, "output accumulator size mismatch");
 

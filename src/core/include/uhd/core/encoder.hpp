@@ -13,28 +13,42 @@
 // quantization ties to +1 — the "flipped bits" the paper argues are
 // harmless).
 //
-// Three equivalent encode paths are provided:
-//  * encode()        — fast quantized integer comparison (production path)
-//  * encode_unary()  — UST fetch + gate-faithful unary comparator (the
-//                      hardware datapath, used for equivalence tests)
+// Four equivalent encode paths are provided:
+//  * encode()        — word-parallel quantized comparison (production path;
+//                      SWAR/AVX2 kernels from uhd/common/simd.hpp)
+//  * encode_scalar() — the byte-at-a-time formulation, retained as the
+//                      correctness oracle and the benchmark baseline
+//  * encode_unary()  — the unary datapath. Its monotone_fast fidelity uses
+//                      the O(1) comparator identity (a thermometer stream's
+//                      value IS its popcount, so Fig. 4 reduces to an
+//                      integer compare); gate_exact keeps the bit-faithful
+//                      UST fetch + gate-level comparator.
 //  * encode_exact()  — unquantized double comparison (reference for the
 //                      quantization-error ablation)
-// encode() and encode_unary() are bit-identical by construction; tests
-// enforce it.
+// All integer paths are bit-identical by construction; tests enforce it.
 #ifndef UHD_CORE_ENCODER_HPP
 #define UHD_CORE_ENCODER_HPP
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "uhd/bitstream/stream_table.hpp"
+#include "uhd/common/thread_pool.hpp"
 #include "uhd/core/config.hpp"
 #include "uhd/data/dataset.hpp"
 #include "uhd/hdc/hypervector.hpp"
 #include "uhd/lowdisc/sobol.hpp"
 
 namespace uhd::core {
+
+/// How encode_unary() evaluates the Fig. 4 comparator.
+enum class unary_fidelity {
+    monotone_fast, ///< O(1) identity: value(stream) = popcount, so >= on
+                   ///< streams is >= on quantized values
+    gate_exact,    ///< bit-faithful UST fetch + gate-level comparator
+};
 
 /// Sobol-index-embedding level encoder (no position hypervectors).
 class uhd_encoder {
@@ -62,18 +76,35 @@ public:
     /// Active configuration.
     [[nodiscard]] const uhd_config& config() const noexcept { return config_; }
 
-    /// Quantize an 8-bit intensity to xi levels (shared by all paths).
+    /// Quantize an 8-bit intensity to xi levels (shared by all paths;
+    /// table lookup, precomputed in the constructor).
     [[nodiscard]] std::uint8_t quantize_intensity(std::uint8_t intensity) const noexcept {
-        return ld::quantize_unit(static_cast<double>(intensity) / 255.0,
-                                 config_.quant_levels);
+        return quant_lut_[intensity];
     }
 
-    /// Fast path. With the default mean_intensity policy,
-    /// out[d] = 2 * ones[d] - 2 * TOB(image) where ones[d] counts pixels
-    /// with q(x_p) >= q(S_p[d]) and TOB is the image's expected popcount;
-    /// with half_inputs, out[d] = 2 * ones[d] - H (the bipolar bundle
-    /// sum_p L_p[d]). sign(out[d]) is the Fig. 5 class-hypervector bit.
+    /// Fast path (word-parallel kernels). With the default mean_intensity
+    /// policy, out[d] = 2 * ones[d] - 2 * TOB(image) where ones[d] counts
+    /// pixels with q(x_p) >= q(S_p[d]) and TOB is the image's expected
+    /// popcount; with half_inputs, out[d] = 2 * ones[d] - H (the bipolar
+    /// bundle sum_p L_p[d]). sign(out[d]) is the Fig. 5 class-hypervector
+    /// bit. Bit-identical to encode_scalar().
     void encode(std::span<const std::uint8_t> image, std::span<std::int32_t> out) const;
+
+    /// The original byte-at-a-time formulation of encode(): the correctness
+    /// oracle for the word-parallel kernels and the benchmark baseline.
+    void encode_scalar(std::span<const std::uint8_t> image,
+                       std::span<std::int32_t> out) const;
+
+    /// Encode `count` images stored back-to-back in `images` (each
+    /// shape().pixels() bytes) into `out` (count * dim() accumulators,
+    /// image-major). When `pool` is non-null the batch is split across its
+    /// workers; results are bit-identical for every thread count.
+    void encode_batch(std::span<const std::uint8_t> images, std::size_t count,
+                      std::span<std::int32_t> out, thread_pool* pool = nullptr) const;
+
+    /// Batch-encode a whole dataset (shape must match this encoder).
+    void encode_batch(const data::dataset& set, std::span<std::int32_t> out,
+                      thread_pool* pool = nullptr) const;
 
     /// The doubled binarization threshold 2*TOB used by encode() for this
     /// image under the configured policy (exposed for tests and the
@@ -81,10 +112,14 @@ public:
     [[nodiscard]] std::int32_t doubled_threshold(
         std::span<const std::uint8_t> image) const;
 
-    /// Hardware path: UST fetch + Fig. 4 unary comparator per (pixel, dim).
-    /// Bit-identical to encode(); O(H * D * N) — use small D in tests.
-    void encode_unary(std::span<const std::uint8_t> image,
-                      std::span<std::int32_t> out) const;
+    /// Unary datapath. monotone_fast exploits the thermometer-code identity
+    /// value(stream) = popcount(stream), collapsing the Fig. 4 comparator
+    /// to the same quantized integer compare as encode() — O(H * D).
+    /// gate_exact runs the UST fetch + gate-level comparator per
+    /// (pixel, dim) — O(H * D * N), use small D in tests. Both fidelities
+    /// are bit-identical to encode(); tests enforce it.
+    void encode_unary(std::span<const std::uint8_t> image, std::span<std::int32_t> out,
+                      unary_fidelity fidelity = unary_fidelity::monotone_fast) const;
 
     /// Reference path without quantization: compares x_p/255 >= S_p[d] in
     /// double precision (regenerates Sobol scalars on the fly).
@@ -123,6 +158,9 @@ private:
     // mean_intensity TOB the exact per-dimension mean of the popcounts
     // (one small popcount table per pixel, Fig. 3(a)'s BRAM sidecar).
     std::vector<std::uint32_t> cdf_counts_;
+    // quant_lut_[x] = quantize_unit(x / 255, xi) — one lookup per pixel on
+    // the hot path instead of a double multiply + round.
+    std::array<std::uint8_t, 256> quant_lut_{};
 };
 
 } // namespace uhd::core

@@ -43,9 +43,16 @@ public:
     /// Predicted class of one image.
     [[nodiscard]] std::size_t predict(std::span<const std::uint8_t> image) const;
 
+    /// Predicted classes of a whole dataset (pool-parallel when given;
+    /// bit-identical for every thread count).
+    [[nodiscard]] std::vector<std::size_t> predict_batch(
+        const data::dataset& set, thread_pool* pool = nullptr) const;
+
     /// Accuracy over a dataset; optionally fills a confusion matrix.
+    /// Predictions run through the batch engine (pool-parallel when given).
     [[nodiscard]] double evaluate(const data::dataset& test,
-                                  data::confusion_matrix* matrix = nullptr) const;
+                                  data::confusion_matrix* matrix = nullptr,
+                                  thread_pool* pool = nullptr) const;
 
     /// AdaptHD-style retraining extension (see hdc::hd_classifier::retrain).
     std::size_t retrain(const data::dataset& train_set, std::size_t epochs);

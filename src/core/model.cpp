@@ -36,9 +36,14 @@ std::size_t uhd_model::predict(std::span<const std::uint8_t> image) const {
     return classifier_.predict(image);
 }
 
-double uhd_model::evaluate(const data::dataset& test,
-                           data::confusion_matrix* matrix) const {
-    return classifier_.evaluate(test, matrix);
+double uhd_model::evaluate(const data::dataset& test, data::confusion_matrix* matrix,
+                           thread_pool* pool) const {
+    return classifier_.evaluate(test, matrix, pool);
+}
+
+std::vector<std::size_t> uhd_model::predict_batch(const data::dataset& set,
+                                                  thread_pool* pool) const {
+    return classifier_.predict_batch(set, pool);
 }
 
 std::size_t uhd_model::retrain(const data::dataset& train_set, std::size_t epochs) {
@@ -58,8 +63,7 @@ void uhd_model::save(std::ostream& os) const {
     io::write_u32(os, classifier_.mode() == hdc::train_mode::raw_sums ? 1u : 0u);
     io::write_u32(os, classifier_.inference() == hdc::query_mode::integer ? 1u : 0u);
     for (std::size_t c = 0; c < classifier_.classes(); ++c) {
-        const auto values = classifier_.class_accumulator(c).values();
-        io::write_pod_vector(os, std::vector<std::int32_t>(values.begin(), values.end()));
+        io::write_pod_span(os, classifier_.class_accumulator(c).values());
     }
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "uhd/common/error.hpp"
+#include "uhd/common/thread_pool.hpp"
 #include "uhd/data/dataset.hpp"
 #include "uhd/data/metrics.hpp"
 #include "uhd/hdc/accumulator.hpp"
@@ -86,7 +87,10 @@ public:
 
     /// Predict the class of one image (argmax cosine similarity).
     [[nodiscard]] std::size_t predict(std::span<const std::uint8_t> image) const {
-        std::vector<std::int32_t> scratch(encoder_->dim());
+        // Reused per thread: predict_batch calls this once per image from
+        // every pool worker, so per-call allocation would dominate.
+        static thread_local std::vector<std::int32_t> scratch;
+        scratch.resize(encoder_->dim());
         encoder_->encode(image, scratch);
         std::size_t best = 0;
         double best_similarity = -2.0;
@@ -118,15 +122,42 @@ public:
         return best;
     }
 
-    /// Accuracy over a dataset; optionally fills a confusion matrix.
+    /// Predict every image of a dataset into `out` (one label slot per
+    /// image). With a pool, the batch is split into contiguous chunks
+    /// across its workers; every image's prediction is independent and
+    /// written to its own slot, so the result is bit-identical for every
+    /// thread count.
+    void predict_batch(const data::dataset& set, std::span<std::size_t> out,
+                       thread_pool* pool = nullptr) const {
+        UHD_REQUIRE(out.size() == set.size(), "prediction buffer size mismatch");
+        thread_pool::maybe_parallel_for(
+            pool, set.size(), [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) out[i] = predict(set.image(i));
+            });
+    }
+
+    /// Convenience overload returning the predictions.
+    [[nodiscard]] std::vector<std::size_t> predict_batch(
+        const data::dataset& set, thread_pool* pool = nullptr) const {
+        std::vector<std::size_t> out(set.size());
+        predict_batch(set, out, pool);
+        return out;
+    }
+
+    /// Accuracy over a dataset; optionally fills a confusion matrix. The
+    /// predictions run through predict_batch (pool-parallel when given);
+    /// the matrix and the accuracy are reduced in sample order afterwards,
+    /// so the result does not depend on the thread count.
     [[nodiscard]] double evaluate(const data::dataset& test,
-                                  data::confusion_matrix* matrix = nullptr) const {
+                                  data::confusion_matrix* matrix = nullptr,
+                                  thread_pool* pool = nullptr) const {
         UHD_REQUIRE(!test.empty(), "evaluate on empty dataset");
+        std::vector<std::size_t> predicted(test.size());
+        predict_batch(test, predicted, pool);
         std::size_t correct = 0;
         for (std::size_t i = 0; i < test.size(); ++i) {
-            const std::size_t predicted = predict(test.image(i));
-            if (matrix != nullptr) matrix->record(test.label(i), predicted);
-            if (predicted == test.label(i)) ++correct;
+            if (matrix != nullptr) matrix->record(test.label(i), predicted[i]);
+            if (predicted[i] == test.label(i)) ++correct;
         }
         return static_cast<double>(correct) / static_cast<double>(test.size());
     }

@@ -1,0 +1,362 @@
+// Equivalence tests for the word-parallel engine: every SIMD/SWAR kernel
+// against its scalar reference, the optimized encoder paths against the
+// scalar oracle over randomized images x configurations, batch encoding
+// against per-image encoding, and thread-count determinism of the batch
+// classifier APIs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "uhd/common/rng.hpp"
+#include "uhd/common/simd.hpp"
+#include "uhd/common/thread_pool.hpp"
+#include "uhd/core/encoder.hpp"
+#include "uhd/data/synthetic.hpp"
+#include "uhd/hdc/classifier.hpp"
+
+namespace {
+
+using namespace uhd;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint8_t max_value,
+                                       xoshiro256ss& rng) {
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) {
+        b = static_cast<std::uint8_t>(rng.next() % (static_cast<unsigned>(max_value) + 1));
+    }
+    return out;
+}
+
+TEST(SimdKernels, GeqMaskSwarMatchesByteCompare) {
+    xoshiro256ss rng(11);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const std::uint8_t q = static_cast<std::uint8_t>(rng.next() % 128);
+        std::uint8_t bytes[8];
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next() % 128);
+        std::uint64_t x;
+        std::memcpy(&x, bytes, 8);
+        const std::uint64_t mask = simd::geq_mask_swar(simd::splat8(q), x);
+        for (int i = 0; i < 8; ++i) {
+            const bool expected = q >= bytes[i];
+            const bool got = ((mask >> (8 * i)) & 0x80u) != 0;
+            EXPECT_EQ(got, expected) << "q=" << int(q) << " x=" << int(bytes[i]);
+        }
+    }
+}
+
+TEST(SimdKernels, GeqAccumulateVariantsMatchScalar) {
+    xoshiro256ss rng(22);
+    for (int trial = 0; trial < 200; ++trial) {
+        // Odd dims exercise the tail handling of every kernel.
+        const std::size_t dim = 1 + rng.next() % 200;
+        const std::uint8_t max_value = trial % 2 == 0 ? 127 : 15;
+        const auto thresholds = random_bytes(dim, max_value, rng);
+        const std::uint8_t q = static_cast<std::uint8_t>(rng.next() % (max_value + 1u));
+
+        std::vector<std::uint16_t> scalar(dim, 7); // nonzero start: += semantics
+        std::vector<std::uint16_t> swar(dim, 7);
+        simd::geq_accumulate_scalar(q, thresholds.data(), dim, scalar.data());
+        simd::geq_accumulate_swar(q, thresholds.data(), dim, swar.data());
+        EXPECT_EQ(scalar, swar);
+
+#ifdef __AVX2__
+        std::vector<std::uint16_t> avx(dim, 7);
+        simd::geq_accumulate_avx2(q, thresholds.data(), dim, avx.data());
+        EXPECT_EQ(scalar, avx);
+#endif
+
+        std::vector<std::uint16_t> dispatched(dim, 7);
+        simd::geq_accumulate(q, thresholds.data(), dim, dispatched.data(), max_value);
+        EXPECT_EQ(scalar, dispatched);
+    }
+}
+
+TEST(SimdKernels, GeqAccumulateFullByteRangeOnWideKernels) {
+    // Thresholds above 127 are outside the SWAR contract but must be exact
+    // on the scalar path and (when built) the AVX2 path the dispatcher
+    // falls back to / selects.
+    xoshiro256ss rng(33);
+    const std::size_t dim = 97;
+    const auto thresholds = random_bytes(dim, 255, rng);
+    for (int qi = 0; qi < 256; qi += 17) {
+        const std::uint8_t q = static_cast<std::uint8_t>(qi);
+        std::vector<std::uint16_t> scalar(dim, 0);
+        std::vector<std::uint16_t> dispatched(dim, 0);
+        simd::geq_accumulate_scalar(q, thresholds.data(), dim, scalar.data());
+        simd::geq_accumulate(q, thresholds.data(), dim, dispatched.data(), 255);
+        EXPECT_EQ(scalar, dispatched);
+    }
+}
+
+TEST(SimdKernels, BlockKernelsMatchReferencePerPixelLoop) {
+    xoshiro256ss rng(66);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t dim = 1 + rng.next() % 300; // exercises 128/8 tails
+        const std::size_t npix = 1 + rng.next() % 600; // crosses the 255 flush
+        const std::uint8_t max_value = trial % 2 == 0 ? 127 : 15;
+        const auto bank = random_bytes(npix * dim, max_value, rng);
+        const auto q = random_bytes(npix, max_value, rng);
+
+        std::vector<std::int32_t> expected(dim, 3); // nonzero start: += semantics
+        {
+            std::vector<std::uint16_t> tile(dim, 0);
+            for (std::size_t p = 0; p < npix; ++p) {
+                simd::geq_accumulate_reference(q[p], bank.data() + p * dim, dim,
+                                               tile.data());
+            }
+            simd::add_u16_to_i32(tile.data(), dim, expected.data());
+        }
+
+        std::vector<std::int32_t> scalar(dim, 3);
+        simd::geq_block_accumulate_scalar(q.data(), npix, bank.data(), dim, dim,
+                                          scalar.data());
+        EXPECT_EQ(expected, scalar);
+
+        std::vector<std::int32_t> swar(dim, 3);
+        simd::geq_block_accumulate_swar(q.data(), npix, bank.data(), dim, dim,
+                                        swar.data());
+        EXPECT_EQ(expected, swar);
+
+#ifdef __AVX2__
+        std::vector<std::int32_t> avx(dim, 3);
+        simd::geq_block_accumulate_avx2(q.data(), npix, bank.data(), dim, dim,
+                                        avx.data());
+        EXPECT_EQ(expected, avx);
+#endif
+
+        std::vector<std::int32_t> dispatched(dim, 3);
+        simd::geq_block_accumulate(q.data(), npix, bank.data(), dim, dim,
+                                   dispatched.data(), max_value);
+        EXPECT_EQ(expected, dispatched);
+    }
+}
+
+TEST(SimdKernels, BlockKernelHonorsRowStride) {
+    // stride > dim: the kernel must only read the first `dim` bytes of
+    // each row.
+    xoshiro256ss rng(77);
+    const std::size_t dim = 160; // one full 128-wide tile plus a tail
+    const std::size_t stride = 200;
+    const std::size_t npix = 40;
+    const auto bank = random_bytes(npix * stride, 127, rng);
+    const auto q = random_bytes(npix, 127, rng);
+
+    std::vector<std::int32_t> expected(dim, 0);
+    for (std::size_t p = 0; p < npix; ++p) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            expected[d] += q[p] >= bank[p * stride + d] ? 1 : 0;
+        }
+    }
+    std::vector<std::int32_t> got(dim, 0);
+    simd::geq_block_accumulate(q.data(), npix, bank.data(), stride, dim, got.data(),
+                               127);
+    EXPECT_EQ(expected, got);
+}
+
+TEST(SimdKernels, TileFlushAddsIntoAccumulator) {
+    const std::vector<std::uint16_t> tile = {0, 1, 65535, 300};
+    std::vector<std::int32_t> acc = {5, -5, 1, 0};
+    simd::add_u16_to_i32(tile.data(), tile.size(), acc.data());
+    EXPECT_EQ(acc, (std::vector<std::int32_t>{5, -4, 65536, 300}));
+}
+
+TEST(SimdKernels, PopcountReductionsMatchNaive) {
+    xoshiro256ss rng(44);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + rng.next() % 9;
+        std::vector<std::uint64_t> a(n);
+        std::vector<std::uint64_t> b(n);
+        for (auto& w : a) w = rng.next();
+        for (auto& w : b) w = rng.next();
+        std::uint64_t pop = 0;
+        std::uint64_t and_pop = 0;
+        std::uint64_t xor_pop = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            pop += std::popcount(a[i]);
+            and_pop += std::popcount(a[i] & b[i]);
+            xor_pop += std::popcount(a[i] ^ b[i]);
+        }
+        EXPECT_EQ(simd::popcount_words(a.data(), n), pop);
+        EXPECT_EQ(simd::and_popcount_words(a.data(), b.data(), n), and_pop);
+        EXPECT_EQ(simd::xor_popcount_words(a.data(), b.data(), n), xor_pop);
+    }
+}
+
+TEST(SimdKernels, MaskedSumMatchesNaive) {
+    xoshiro256ss rng(55);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + rng.next() % 300;
+        std::vector<std::uint64_t> mask((n + 63) / 64, 0);
+        std::vector<std::int32_t> values(n);
+        std::int64_t expected = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            values[i] = static_cast<std::int32_t>(rng.next()) % 1000;
+            if (rng.next() % 2 == 0) {
+                mask[i / 64] |= std::uint64_t{1} << (i % 64);
+                expected += values[i];
+            }
+        }
+        EXPECT_EQ(simd::masked_sum_i32(mask.data(), values.data(), n), expected);
+    }
+}
+
+// --- encoder equivalence over randomized configurations -------------------
+
+struct encoder_case {
+    core::uhd_config cfg;
+    data::image_shape shape;
+};
+
+encoder_case random_case(xoshiro256ss& rng) {
+    encoder_case c;
+    const std::size_t dims[] = {64, 128, 192, 256};
+    const unsigned levels[] = {4, 8, 16, 32};
+    c.cfg.dim = dims[rng.next() % 4];
+    c.cfg.quant_levels = levels[rng.next() % 4];
+    c.cfg.scramble = rng.next() % 2 == 0;
+    c.cfg.policy = rng.next() % 2 == 0 ? core::binarize_policy::mean_intensity
+                                       : core::binarize_policy::half_inputs;
+    c.cfg.sobol_seed = 1 + rng.next() % 1000;
+    const std::size_t side = 4 + rng.next() % 4; // 4x4 .. 7x7 images
+    c.shape = {side, side, 1};
+    return c;
+}
+
+TEST(EncoderEquivalence, WordParallelMatchesScalarOracleAcross100Configs) {
+    xoshiro256ss rng(2024);
+    for (int config_i = 0; config_i < 100; ++config_i) {
+        const encoder_case c = random_case(rng);
+        const core::uhd_encoder enc(c.cfg, c.shape);
+        for (int image_i = 0; image_i < 3; ++image_i) {
+            const auto image = random_bytes(c.shape.pixels(), 255, rng);
+            std::vector<std::int32_t> fast(enc.dim());
+            std::vector<std::int32_t> oracle(enc.dim());
+            enc.encode(image, fast);
+            enc.encode_scalar(image, oracle);
+            ASSERT_EQ(fast, oracle)
+                << "config " << config_i << ": dim=" << c.cfg.dim
+                << " levels=" << c.cfg.quant_levels << " scramble=" << c.cfg.scramble;
+        }
+    }
+}
+
+TEST(EncoderEquivalence, MonotoneFastMatchesGateExactUnaryPath) {
+    xoshiro256ss rng(7);
+    for (int config_i = 0; config_i < 10; ++config_i) {
+        const encoder_case c = random_case(rng);
+        const core::uhd_encoder enc(c.cfg, c.shape);
+        const auto image = random_bytes(c.shape.pixels(), 255, rng);
+        std::vector<std::int32_t> fast(enc.dim());
+        std::vector<std::int32_t> gates(enc.dim());
+        enc.encode_unary(image, fast, core::unary_fidelity::monotone_fast);
+        enc.encode_unary(image, gates, core::unary_fidelity::gate_exact);
+        ASSERT_EQ(fast, gates);
+    }
+}
+
+TEST(EncoderEquivalence, EncodeBatchMatchesPerImageEncode) {
+    const core::uhd_config cfg{.dim = 128};
+    const data::image_shape shape{6, 6, 1};
+    const core::uhd_encoder enc(cfg, shape);
+    xoshiro256ss rng(99);
+
+    const std::size_t count = 17;
+    std::vector<std::uint8_t> images;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto img = random_bytes(shape.pixels(), 255, rng);
+        images.insert(images.end(), img.begin(), img.end());
+    }
+
+    std::vector<std::int32_t> batched(count * enc.dim());
+    enc.encode_batch(images, count, batched);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<std::int32_t> single(enc.dim());
+        enc.encode(std::span<const std::uint8_t>(images).subspan(i * shape.pixels(),
+                                                                 shape.pixels()),
+                   single);
+        const auto slot = std::span<const std::int32_t>(batched)
+                              .subspan(i * enc.dim(), enc.dim());
+        ASSERT_TRUE(std::equal(single.begin(), single.end(), slot.begin()));
+    }
+
+    // Pooled batches are bit-identical regardless of worker count.
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        thread_pool pool(threads);
+        std::vector<std::int32_t> pooled(count * enc.dim());
+        enc.encode_batch(images, count, pooled, &pool);
+        ASSERT_EQ(batched, pooled) << "threads=" << threads;
+    }
+}
+
+TEST(EncoderEquivalence, DatasetBatchOverloadMatchesFlatOverload) {
+    const auto ds = data::make_synthetic_digits(12, 5);
+    const core::uhd_config cfg{.dim = 128};
+    const core::uhd_encoder enc(cfg, ds.shape());
+
+    std::vector<std::int32_t> from_dataset(ds.size() * enc.dim());
+    enc.encode_batch(ds, from_dataset);
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        std::vector<std::int32_t> single(enc.dim());
+        enc.encode(ds.image(i), single);
+        const auto slot = std::span<const std::int32_t>(from_dataset)
+                              .subspan(i * enc.dim(), enc.dim());
+        ASSERT_TRUE(std::equal(single.begin(), single.end(), slot.begin()));
+    }
+}
+
+TEST(BatchClassifier, PredictBatchAndEvaluateAreThreadCountInvariant) {
+    const auto train = data::make_synthetic_digits(60, 5);
+    const auto test = data::make_synthetic_digits(30, 6);
+    const core::uhd_config cfg{.dim = 256};
+    const core::uhd_encoder enc(cfg, train.shape());
+    hdc::hd_classifier<core::uhd_encoder> clf(enc, train.num_classes(),
+                                              hdc::train_mode::raw_sums,
+                                              hdc::query_mode::integer);
+    clf.fit(train);
+
+    const std::vector<std::size_t> serial = clf.predict_batch(test);
+    const double serial_accuracy = clf.evaluate(test);
+    for (const std::size_t threads : {1u, 2u, 3u, 4u}) {
+        thread_pool pool(threads);
+        EXPECT_EQ(clf.predict_batch(test, &pool), serial) << "threads=" << threads;
+        data::confusion_matrix serial_matrix(test.num_classes());
+        data::confusion_matrix pooled_matrix(test.num_classes());
+        EXPECT_DOUBLE_EQ(clf.evaluate(test, &serial_matrix),
+                         clf.evaluate(test, &pooled_matrix, &pool));
+        for (std::size_t t = 0; t < test.num_classes(); ++t) {
+            for (std::size_t p = 0; p < test.num_classes(); ++p) {
+                EXPECT_EQ(serial_matrix.count(t, p), pooled_matrix.count(t, p));
+            }
+        }
+        EXPECT_DOUBLE_EQ(clf.evaluate(test, nullptr, &pool), serial_accuracy);
+    }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        thread_pool pool(threads);
+        for (const std::size_t n : {0u, 1u, 7u, 1000u}) {
+            std::vector<int> hits(n, 0);
+            pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) ++hits[i];
+            });
+            EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                                    [](int h) { return h == 1; }))
+                << "threads=" << threads << " n=" << n;
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+    thread_pool pool(2);
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [](std::size_t begin, std::size_t) {
+                                       if (begin == 0) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+}
+
+} // namespace

@@ -29,7 +29,7 @@ TEST(UhdEncoder, FastAndUnaryPathsAreBitIdentical) {
     std::vector<std::int32_t> fast(enc.dim());
     std::vector<std::int32_t> unary(enc.dim());
     enc.encode(image, fast);
-    enc.encode_unary(image, unary);
+    enc.encode_unary(image, unary, unary_fidelity::gate_exact);
     EXPECT_EQ(fast, unary);
 }
 
@@ -41,7 +41,7 @@ TEST(UhdEncoder, FastAndUnaryAgreeUnderHalfInputsPolicy) {
     std::vector<std::int32_t> fast(enc.dim());
     std::vector<std::int32_t> unary(enc.dim());
     enc.encode(image, fast);
-    enc.encode_unary(image, unary);
+    enc.encode_unary(image, unary, unary_fidelity::gate_exact);
     EXPECT_EQ(fast, unary);
 }
 
@@ -144,7 +144,7 @@ TEST(UhdEncoder, ScrambleOffStillWorks) {
     std::vector<std::int32_t> unary(enc.dim());
     const auto image = ramp_image(36);
     enc.encode(image, fast);
-    enc.encode_unary(image, unary);
+    enc.encode_unary(image, unary, unary_fidelity::gate_exact);
     EXPECT_EQ(fast, unary);
 }
 
