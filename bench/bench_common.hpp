@@ -17,6 +17,8 @@
 #include "uhd/core/encoder.hpp"
 #include "uhd/data/idx.hpp"
 #include "uhd/data/synthetic.hpp"
+#include "uhd/hdc/classifier.hpp"
+#include "uhd/hdc/similarity.hpp"
 
 namespace uhd::bench {
 
@@ -106,6 +108,101 @@ inline double time_encode_batch(const core::uhd_encoder& enc, const data::datase
         enc.encode_batch(flat, n, out, pool);
     }
     return watch.seconds();
+}
+
+// --- shared inference-throughput measurement ------------------------------
+//
+// One definition of the inference baselines for every bench that reports
+// predict throughput. Queries are pre-encoded (the encode stage has its own
+// benchmarks), so these time the pure inference stage: binarize + argmax.
+// The scalar baselines reproduce the seed-era predict exactly: per-element
+// set_bit binarization + one cosine() call per class (binarized mode), and
+// a per-class double-accumulating cosine scan (integer mode).
+
+/// Same trained state as `src` under a different query mode, without a
+/// second training pass (accumulators copied through load_state).
+template <typename Encoder>
+hdc::hd_classifier<Encoder> clone_with_query_mode(
+    const hdc::hd_classifier<Encoder>& src, hdc::query_mode qm) {
+    hdc::hd_classifier<Encoder> out(src.encoder(), src.classes(), src.mode(), qm);
+    std::vector<hdc::accumulator> accs;
+    accs.reserve(src.classes());
+    for (std::size_t c = 0; c < src.classes(); ++c) {
+        accs.push_back(src.class_accumulator(c));
+    }
+    out.load_state(std::move(accs));
+    return out;
+}
+
+/// Pre-encode the first `n` dataset images into one flat buffer
+/// (n * dim() accumulators, image-major).
+inline std::vector<std::int32_t> encode_queries(const core::uhd_encoder& enc,
+                                                const data::dataset& ds,
+                                                std::size_t n) {
+    std::vector<std::int32_t> out(n * enc.dim());
+    std::vector<std::uint8_t> flat;
+    flat.reserve(n * ds.shape().pixels());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto img = ds.image(i);
+        flat.insert(flat.end(), img.begin(), img.end());
+    }
+    enc.encode_batch(flat, n, out);
+    return out;
+}
+
+/// Seed-era binarized inference over a pre-encoded query: per-element
+/// set_bit + per-class cosine, strict-> first-wins argmax.
+template <typename Classifier>
+std::size_t seed_predict_binarized(const Classifier& clf,
+                                   std::span<const std::int32_t> encoded) {
+    bs::bitstream bits(encoded.size());
+    for (std::size_t d = 0; d < encoded.size(); ++d) {
+        if (encoded[d] < 0) bits.set_bit(d, true);
+    }
+    const hdc::hypervector query(std::move(bits));
+    std::size_t best = 0;
+    double best_similarity = -2.0;
+    for (std::size_t c = 0; c < clf.classes(); ++c) {
+        const double similarity = hdc::cosine(query, clf.class_hypervector(c));
+        if (similarity > best_similarity) {
+            best_similarity = similarity;
+            best = c;
+        }
+    }
+    return best;
+}
+
+/// Seed-era integer inference over a pre-encoded query: one
+/// double-accumulating cosine() per class.
+template <typename Classifier>
+std::size_t seed_predict_integer(const Classifier& clf,
+                                 std::span<const std::int32_t> encoded) {
+    std::size_t best = 0;
+    double best_similarity = -2.0;
+    for (std::size_t c = 0; c < clf.classes(); ++c) {
+        const double similarity =
+            hdc::cosine(encoded, clf.class_accumulator(c).values());
+        if (similarity > best_similarity) {
+            best_similarity = similarity;
+            best = c;
+        }
+    }
+    return best;
+}
+
+/// Time `predict(query_index)` over the pre-encoded query set, repeating
+/// full passes until `min_seconds` of work accumulates. Returns seconds per
+/// query; `sink` accumulates predictions so the loop cannot be elided.
+template <typename Fn>
+double time_inference(std::size_t queries, const Fn& predict, std::size_t& sink,
+                      double min_seconds = 0.05) {
+    std::size_t done = 0;
+    stopwatch watch;
+    do {
+        for (std::size_t i = 0; i < queries; ++i) sink += predict(i);
+        done += queries;
+    } while (watch.seconds() < min_seconds);
+    return watch.seconds() / static_cast<double>(done);
 }
 
 } // namespace uhd::bench

@@ -3,11 +3,16 @@
 // (scalar oracle vs word-parallel), sequence generation, and similarity
 // search.
 //
-// The custom main() additionally runs a direct encode-throughput
-// measurement on 28x28 synthetic MNIST-shaped images at D=1024 (scalar vs
-// word-parallel vs batched vs pool-parallel) and writes the results to
-// BENCH_encode.json (schema documented in bench/README.md; override the
-// path with UHD_BENCH_JSON, the workload with UHD_BENCH_IMAGES).
+// The custom main() additionally runs two direct throughput measurements
+// and writes machine-readable results (schemas in bench/README.md):
+//  * encode on 28x28 synthetic MNIST-shaped images at D=1024 (scalar vs
+//    word-parallel vs batched vs pool-parallel) -> BENCH_encode.json
+//    (override the path with UHD_BENCH_JSON, workload with
+//    UHD_BENCH_IMAGES);
+//  * inference over pre-encoded queries at D=8192 / 10 classes (seed
+//    per-class-cosine path vs the packed associative-memory engine, both
+//    query modes) -> BENCH_inference.json (override with
+//    UHD_BENCH_INFER_JSON, workload with UHD_BENCH_QUERIES).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -25,6 +30,7 @@
 #include "uhd/core/encoder.hpp"
 #include "uhd/data/synthetic.hpp"
 #include "uhd/hdc/baseline_encoder.hpp"
+#include "uhd/hdc/classifier.hpp"
 #include "uhd/hdc/similarity.hpp"
 #include "uhd/lowdisc/lfsr.hpp"
 #include "uhd/lowdisc/sobol.hpp"
@@ -256,6 +262,87 @@ void BM_PackedQueryCosine(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedQueryCosine)->Arg(1024)->Arg(8192);
 
+void BM_SignBinarizeReference(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    xoshiro256ss rng(4);
+    std::vector<std::int32_t> values(dim);
+    for (auto& v : values) v = static_cast<std::int32_t>(rng.next() % 2001) - 1000;
+    std::vector<std::uint64_t> words(simd::sign_words(dim));
+    for (auto _ : state) {
+        simd::sign_binarize_reference(values.data(), dim, words.data());
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_SignBinarizeReference)->Arg(1024)->Arg(8192);
+
+void BM_SignBinarize(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    xoshiro256ss rng(4);
+    std::vector<std::int32_t> values(dim);
+    for (auto& v : values) v = static_cast<std::int32_t>(rng.next() % 2001) - 1000;
+    std::vector<std::uint64_t> words(simd::sign_words(dim));
+    for (auto _ : state) {
+        simd::sign_binarize(values.data(), dim, words.data());
+        benchmark::DoNotOptimize(words.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_SignBinarize)->Arg(1024)->Arg(8192);
+
+void BM_HammingArgminReference(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const std::size_t classes = 10;
+    xoshiro256ss rng(5);
+    const std::size_t words = simd::sign_words(dim);
+    std::vector<std::uint64_t> memory(classes * words);
+    std::vector<std::uint64_t> query(words);
+    for (auto& w : memory) w = rng.next();
+    for (auto& w : query) w = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simd::hamming_argmin_reference(
+            query.data(), memory.data(), words, classes));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(classes * dim));
+}
+BENCHMARK(BM_HammingArgminReference)->Arg(1024)->Arg(8192);
+
+void BM_HammingArgmin(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const std::size_t classes = 10;
+    xoshiro256ss rng(5);
+    const std::size_t words = simd::sign_words(dim);
+    std::vector<std::uint64_t> memory(classes * words);
+    std::vector<std::uint64_t> query(words);
+    for (auto& w : memory) w = rng.next();
+    for (auto& w : query) w = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simd::hamming_argmin(query.data(), memory.data(), words, classes));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(classes * dim));
+}
+BENCHMARK(BM_HammingArgmin)->Arg(1024)->Arg(8192);
+
+void BM_BlockedDotI32(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    xoshiro256ss rng(6);
+    std::vector<std::int32_t> a(dim);
+    std::vector<std::int32_t> b(dim);
+    for (auto& v : a) v = static_cast<std::int32_t>(rng.next() % 2001) - 1000;
+    for (auto& v : b) v = static_cast<std::int32_t>(rng.next() % 2001) - 1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simd::dot_i32(a.data(), b.data(), dim));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_BlockedDotI32)->Arg(1024)->Arg(8192);
+
 void BM_PopcountBinarizerFeed(benchmark::State& state) {
     for (auto _ : state) {
         core::popcount_binarizer bin(784);
@@ -371,6 +458,150 @@ void run_encode_throughput() {
                cfg.quant_levels, images_n, entries);
 }
 
+// --- direct inference-throughput comparison + BENCH_inference.json --------
+
+struct inference_entry {
+    std::string name;
+    std::string mode;
+    std::size_t threads;
+    double seconds;
+    double queries_per_s;
+    double speedup_vs_scalar;
+};
+
+void write_inference_json(const std::string& path, std::size_t dim,
+                          std::size_t classes, std::size_t queries,
+                          std::size_t matched,
+                          const std::vector<inference_entry>& entries) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"inference\",\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f,
+                 "  \"workload\": {\"dim\": %zu, \"classes\": %zu, "
+                 "\"queries\": %zu},\n",
+                 dim, classes, queries);
+    std::fprintf(f, "  \"simd\": {\"avx2\": %s},\n",
+                 simd::has_avx2() ? "true" : "false");
+    std::fprintf(f, "  \"agreement\": {\"matched\": %zu, \"queries\": %zu},\n",
+                 matched, queries);
+    std::fprintf(f, "  \"entries\": [\n");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto& e = entries[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"mode\": \"%s\", \"threads\": %zu, "
+                     "\"seconds\": %.9f, \"queries_per_s\": %.1f, "
+                     "\"speedup_vs_scalar\": %.2f}%s\n",
+                     e.name.c_str(), e.mode.c_str(), e.threads, e.seconds,
+                     e.queries_per_s, e.speedup_vs_scalar,
+                     i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+}
+
+[[nodiscard]] int run_inference_throughput() {
+    // The acceptance workload: D=8192, 10 classes, single thread, pure
+    // inference stage (queries pre-encoded — encode has its own section).
+    const std::size_t dim = 8192;
+    const auto queries_n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(env_int("UHD_BENCH_QUERIES", 256)));
+    const data::dataset train_set = data::make_synthetic_digits(200, 7);
+    const data::dataset query_set = data::make_synthetic_digits(queries_n, 9);
+
+    core::uhd_config cfg;
+    cfg.dim = dim;
+    const core::uhd_encoder enc(cfg, train_set.shape());
+    hdc::hd_classifier<core::uhd_encoder> clf_bin(enc, train_set.num_classes(),
+                                                  hdc::train_mode::raw_sums,
+                                                  hdc::query_mode::binarized);
+    clf_bin.fit(train_set);
+    const auto clf_int =
+        bench::clone_with_query_mode(clf_bin, hdc::query_mode::integer);
+
+    const std::vector<std::int32_t> encoded =
+        bench::encode_queries(enc, query_set, queries_n);
+    const auto query = [&](std::size_t i) {
+        return std::span<const std::int32_t>(encoded).subspan(i * dim, dim);
+    };
+
+    // The packed path must agree with the seed path on every query before
+    // its speedup means anything.
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < queries_n; ++i) {
+        if (clf_bin.predict_encoded(query(i)) !=
+            bench::seed_predict_binarized(clf_bin, query(i))) {
+            ++mismatches;
+        }
+    }
+
+    std::vector<inference_entry> entries;
+    double binarized_scalar_s = 0.0;
+    double integer_scalar_s = 0.0;
+    const auto record = [&](const std::string& name, const std::string& mode,
+                            double seconds) {
+        inference_entry e;
+        e.name = name;
+        e.mode = mode;
+        e.threads = 1;
+        e.seconds = seconds;
+        e.queries_per_s = 1.0 / seconds;
+        const double baseline =
+            mode == "binarized" ? binarized_scalar_s : integer_scalar_s;
+        e.speedup_vs_scalar = baseline > 0.0 ? baseline / seconds : 1.0;
+        entries.push_back(e);
+        std::printf("%-28s %10.1f query/s  %6.2fx\n", name.c_str(), e.queries_per_s,
+                    e.speedup_vs_scalar);
+    };
+
+    std::printf("\n== inference throughput: D=%zu, %zu classes, %zu queries "
+                "(pre-encoded, 1 thread) ==\n",
+                dim, clf_bin.classes(), queries_n);
+    std::printf("packed vs seed argmax agreement: %zu/%zu%s\n",
+                queries_n - mismatches, queries_n,
+                mismatches == 0 ? "" : "  (MISMATCH!)");
+
+    std::size_t sink = 0;
+    binarized_scalar_s = bench::time_inference(
+        queries_n,
+        [&](std::size_t i) { return bench::seed_predict_binarized(clf_bin, query(i)); },
+        sink);
+    record("inference_cosine_scalar", "binarized", binarized_scalar_s);
+    record("inference_packed_am", "binarized",
+           bench::time_inference(
+               queries_n,
+               [&](std::size_t i) { return clf_bin.predict_encoded(query(i)); },
+               sink));
+    integer_scalar_s = bench::time_inference(
+        queries_n,
+        [&](std::size_t i) { return bench::seed_predict_integer(clf_int, query(i)); },
+        sink);
+    record("inference_integer_scalar", "integer", integer_scalar_s);
+    record("inference_integer_blocked", "integer",
+           bench::time_inference(
+               queries_n,
+               [&](std::size_t i) { return clf_int.predict_encoded(query(i)); },
+               sink));
+    benchmark::DoNotOptimize(sink);
+
+    const double speedup = entries[0].seconds / entries[1].seconds;
+    std::printf("packed associative-memory vs seed cosine speedup: %.2fx %s\n",
+                speedup,
+                speedup >= 5.0 ? "(target >= 5x: PASS)" : "(target >= 5x: MISS)");
+
+    write_inference_json(env_string("UHD_BENCH_INFER_JSON", "BENCH_inference.json"),
+                         dim, clf_bin.classes(), queries_n, queries_n - mismatches,
+                         entries);
+    // A broken bit-identity is a regression, not a bench result: fail the
+    // run so CI's bench smoke surfaces it.
+    return mismatches == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -379,5 +610,5 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     run_encode_throughput();
-    return 0;
+    return run_inference_throughput();
 }

@@ -46,6 +46,53 @@ void report_encode_throughput(const uhd::core::uhd_encoder& enc,
     line("batched (shared pool)", batched_s);
 }
 
+/// Inference-throughput report for one trained classifier at one D: the
+/// seed per-class-cosine path vs the packed associative-memory engine
+/// (binarized mode) and the blocked dot-product kernels (integer mode),
+/// over pre-encoded queries, single thread.
+void report_inference_throughput(
+    const uhd::hdc::hd_classifier<uhd::core::uhd_encoder>& clf_int,
+    const uhd::data::dataset& ds) {
+    using namespace uhd;
+    const core::uhd_encoder& enc = clf_int.encoder();
+    const std::size_t n = ds.size() < 64 ? ds.size() : 64;
+
+    // Same trained state, binarized query mode (packed engine).
+    const auto clf_bin =
+        bench::clone_with_query_mode(clf_int, hdc::query_mode::binarized);
+
+    const std::vector<std::int32_t> encoded = bench::encode_queries(enc, ds, n);
+    const auto query = [&](std::size_t i) {
+        return std::span<const std::int32_t>(encoded).subspan(i * enc.dim(),
+                                                              enc.dim());
+    };
+
+    std::size_t sink = 0;
+    const double bin_scalar_s = bench::time_inference(
+        n, [&](std::size_t i) { return bench::seed_predict_binarized(clf_bin, query(i)); },
+        sink);
+    const double bin_packed_s = bench::time_inference(
+        n, [&](std::size_t i) { return clf_bin.predict_encoded(query(i)); }, sink);
+    const double int_scalar_s = bench::time_inference(
+        n, [&](std::size_t i) { return bench::seed_predict_integer(clf_int, query(i)); },
+        sink);
+    const double int_blocked_s = bench::time_inference(
+        n, [&](std::size_t i) { return clf_int.predict_encoded(query(i)); }, sink);
+    if (sink == static_cast<std::size_t>(-1)) std::printf("#\n"); // keep sink live
+
+    const auto line = [&](const char* name, double seconds, double baseline) {
+        std::printf("#   %-26s %11.1f query/s  %6.2fx\n", name, 1.0 / seconds,
+                    baseline / seconds);
+    };
+    std::printf("# inference throughput at D=%zu (%zu pre-encoded queries, "
+                "1 thread):\n",
+                enc.dim(), n);
+    line("cosine scalar (seed)", bin_scalar_s, bin_scalar_s);
+    line("packed associative mem", bin_packed_s, bin_scalar_s);
+    line("integer cosine scalar", int_scalar_s, int_scalar_s);
+    line("integer blocked dot", int_blocked_s, int_scalar_s);
+}
+
 } // namespace
 
 int main() {
@@ -94,6 +141,7 @@ int main() {
         const double uhd_accuracy = uhd_clf.evaluate(test, nullptr,
                                                      &thread_pool::shared());
         report_encode_throughput(uhd, test);
+        report_inference_throughput(uhd_clf, test);
 
         std::vector<std::string> cells = {dim == 1024   ? "1K"
                                           : dim == 2048 ? "2K"

@@ -17,6 +17,11 @@
 //     hypervectors — whole-word popcounts and the sign-masked sum that
 //     turns a packed bipolar query into an integer dot product.
 //
+//  3. the inference engine's kernels — sign-binarize (int32 accumulator
+//     span -> packed 64-bit sign words), Hamming-argmin over a row-major
+//     packed class memory (XOR + popcount per word, reduced in one pass),
+//     and blocked int32 dot products for the integer-cosine query mode.
+//
 // All kernels are deterministic and bit-exact against their scalar
 // references; tests/test_simd_kernels.cpp enforces this over randomized
 // inputs for every implementation the build enables.
@@ -311,6 +316,104 @@ inline void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
 #endif
 }
 
+// --- sign-binarize kernels ------------------------------------------------
+//
+// Pack the sign bits of an int32 accumulator span into 64-bit words under
+// the hypervector convention (bit 1 = -1): bit d is set exactly when
+// v[d] < 0, so >= 0 maps to +1 — the same tie rule as accumulator::sign()
+// and the hardware's popcount >= TOB binarizer. The output holds
+// ceil(n / 64) words and every kernel zeroes the tail bits beyond n, so the
+// result satisfies the bitstream tail invariant as-is.
+
+/// Number of 64-bit words needed for `n` packed sign bits.
+[[nodiscard]] constexpr std::size_t sign_words(std::size_t n) noexcept {
+    return (n + 63) / 64;
+}
+
+/// True byte-at-a-time oracle for sign binarization (pinned scalar; the
+/// baseline the word-parallel kernels are tested and benchmarked against).
+UHD_SCALAR_REFERENCE inline void sign_binarize_reference(
+    const std::int32_t* v, std::size_t n, std::uint64_t* words) noexcept {
+    for (std::size_t w = 0; w < sign_words(n); ++w) words[w] = 0;
+    UHD_NOVECTOR_LOOP
+    for (std::size_t d = 0; d < n; ++d) {
+        if (v[d] < 0) words[d / 64] |= std::uint64_t{1} << (d % 64);
+    }
+}
+
+/// SWAR kernel: two int32 values per u64 load — bits 31 and 63 of the load
+/// are exactly the two sign bits on little-endian, so one full output word
+/// costs 32 loads and a handful of shifts. Big-endian builds (where the
+/// pair order inside the load is swapped) take a plain per-element loop
+/// the compiler is free to vectorize.
+inline void sign_binarize_swar(const std::int32_t* v, std::size_t n,
+                               std::uint64_t* words) noexcept {
+    if constexpr (std::endian::native != std::endian::little) {
+        for (std::size_t w = 0; w < sign_words(n); ++w) words[w] = 0;
+        for (std::size_t d = 0; d < n; ++d) {
+            if (v[d] < 0) words[d / 64] |= std::uint64_t{1} << (d % 64);
+        }
+        return;
+    }
+    std::size_t d = 0;
+    std::size_t w = 0;
+    for (; d + 64 <= n; d += 64, ++w) {
+        std::uint64_t bits = 0;
+        for (std::size_t i = 0; i < 32; ++i) {
+            std::uint64_t pair;
+            __builtin_memcpy(&pair, v + d + 2 * i, 8);
+            bits |= ((pair >> 31) & 1u) << (2 * i);
+            bits |= (pair >> 63) << (2 * i + 1);
+        }
+        words[w] = bits;
+    }
+    if (d < n) {
+        std::uint64_t bits = 0;
+        for (std::size_t i = 0; d + i < n; ++i) {
+            if (v[d + i] < 0) bits |= std::uint64_t{1} << i;
+        }
+        words[w] = bits;
+    }
+}
+
+#ifdef __AVX2__
+/// AVX2 kernel: movemask over eight int32 lanes yields eight sign bits per
+/// load, so one output word is eight loads + shifts.
+inline void sign_binarize_avx2(const std::int32_t* v, std::size_t n,
+                               std::uint64_t* words) noexcept {
+    std::size_t d = 0;
+    std::size_t w = 0;
+    for (; d + 64 <= n; d += 64, ++w) {
+        std::uint64_t bits = 0;
+        for (std::size_t i = 0; i < 8; ++i) {
+            const __m256i x = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(v + d + 8 * i));
+            const auto mask = static_cast<std::uint32_t>(
+                _mm256_movemask_ps(_mm256_castsi256_ps(x)));
+            bits |= static_cast<std::uint64_t>(mask) << (8 * i);
+        }
+        words[w] = bits;
+    }
+    if (d < n) {
+        std::uint64_t bits = 0;
+        for (std::size_t i = 0; d + i < n; ++i) {
+            if (v[d + i] < 0) bits |= std::uint64_t{1} << i;
+        }
+        words[w] = bits;
+    }
+}
+#endif
+
+/// Best available sign-binarize kernel.
+inline void sign_binarize(const std::int32_t* v, std::size_t n,
+                          std::uint64_t* words) noexcept {
+#ifdef __AVX2__
+    sign_binarize_avx2(v, n, words);
+#else
+    sign_binarize_swar(v, n, words);
+#endif
+}
+
 /// Population count over `n` packed words.
 [[nodiscard]] inline std::uint64_t popcount_words(const std::uint64_t* w,
                                                   std::size_t n) noexcept {
@@ -335,6 +438,141 @@ inline void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] ^ b[i]);
     return total;
+}
+
+#ifdef __AVX2__
+/// popcount(a XOR b) with the pshufb nibble-LUT popcount, 4 words (256
+/// bits) per step. Bit-exact with xor_popcount_words.
+[[nodiscard]] inline std::uint64_t xor_popcount_words_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) noexcept {
+    const __m256i low_nibble = _mm256_set1_epi8(0x0F);
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2,
+                         1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i x = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+        const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(x, low_nibble));
+        const __m256i hi = _mm256_shuffle_epi8(
+            lut, _mm256_and_si256(_mm256_srli_epi32(x, 4), low_nibble));
+        // Per-byte counts <= 16; sad_epu8 folds them into four u64 lanes.
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256()));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i) total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+    return total;
+}
+#endif
+
+/// Best available XOR-popcount reduction (Hamming distance of packed rows).
+[[nodiscard]] inline std::uint64_t hamming_distance_words(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) noexcept {
+#ifdef __AVX2__
+    return xor_popcount_words_avx2(a, b, n);
+#else
+    return xor_popcount_words(a, b, n);
+#endif
+}
+
+// --- Hamming-argmin over a packed associative memory ----------------------
+//
+// `rows` holds `n_rows` binarized class vectors back-to-back, `words` u64
+// words each. The query uses the same packing. Ties resolve to the lowest
+// row index (strict <), which is exactly the first-wins rule of the
+// per-class cosine scan it replaces: cosine = (D - 2 * hamming) / D is
+// strictly decreasing in the distance, so argmax-cosine with strict >
+// equals argmin-distance with strict <.
+
+/// Pinned scalar oracle: per-row distance via a plain popcount loop.
+UHD_SCALAR_REFERENCE inline std::size_t hamming_argmin_reference(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t words,
+    std::size_t n_rows, std::uint64_t* best_distance_out = nullptr) noexcept {
+    std::size_t best = 0;
+    std::uint64_t best_distance = ~std::uint64_t{0};
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        std::uint64_t distance = 0;
+        UHD_NOVECTOR_LOOP
+        for (std::size_t w = 0; w < words; ++w) {
+            distance += static_cast<std::uint64_t>(
+                std::popcount(query[w] ^ rows[r * words + w]));
+        }
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = r;
+        }
+    }
+    if (best_distance_out != nullptr) *best_distance_out = best_distance;
+    return best;
+}
+
+/// Best available Hamming-argmin: one pass over the row-major memory, each
+/// row reduced with the widest XOR+popcount kernel the build carries.
+[[nodiscard]] inline std::size_t hamming_argmin(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t words,
+    std::size_t n_rows, std::uint64_t* best_distance_out = nullptr) noexcept {
+    std::size_t best = 0;
+    std::uint64_t best_distance = ~std::uint64_t{0};
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        const std::uint64_t distance =
+            hamming_distance_words(query, rows + r * words, words);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = r;
+        }
+    }
+    if (best_distance_out != nullptr) *best_distance_out = best_distance;
+    return best;
+}
+
+// --- blocked int32 dot-product kernels (integer-cosine inference) ---------
+//
+// Each product is computed exactly in int64 (|a|,|b| <= 2^31 so the product
+// fits) and accumulated into four independent double lanes; only the lane
+// additions round. Four lanes break the serial dependence so the compiler
+// can pipeline/vectorize the conversion+add, and the lane split is fixed,
+// so results are deterministic (though not bit-identical to a strictly
+// serial double accumulation).
+
+/// Sum of squares of an int32 span, in double.
+[[nodiscard]] inline double sum_squares_i32(const std::int32_t* v,
+                                            std::size_t n) noexcept {
+    double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+    const std::size_t main_n = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < main_n; i += 4) {
+        for (std::size_t l = 0; l < 4; ++l) {
+            const std::int64_t x = v[i + l];
+            lanes[l] += static_cast<double>(x * x);
+        }
+    }
+    for (std::size_t i = main_n; i < n; ++i) {
+        const std::int64_t x = v[i];
+        lanes[i % 4] += static_cast<double>(x * x);
+    }
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+/// Dot product of two int32 spans, in double.
+[[nodiscard]] inline double dot_i32(const std::int32_t* a, const std::int32_t* b,
+                                    std::size_t n) noexcept {
+    double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+    const std::size_t main_n = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < main_n; i += 4) {
+        for (std::size_t l = 0; l < 4; ++l) {
+            lanes[l] += static_cast<double>(static_cast<std::int64_t>(a[i + l]) *
+                                            static_cast<std::int64_t>(b[i + l]));
+        }
+    }
+    for (std::size_t i = main_n; i < n; ++i) {
+        lanes[i % 4] += static_cast<double>(static_cast<std::int64_t>(a[i]) *
+                                            static_cast<std::int64_t>(b[i]));
+    }
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
 }
 
 /// Sum of v[i] over the set bits of a packed mask covering n values

@@ -45,6 +45,12 @@ public:
     /// Process-wide pool (UHD_THREADS override, else hardware concurrency).
     [[nodiscard]] static thread_pool& shared();
 
+    /// Worker count requested through UHD_THREADS: unset, unparsable,
+    /// negative, or absurdly large (> 4096) values fall back to 0
+    /// (= hardware concurrency). Exposed so the clamping is testable
+    /// without touching the shared() singleton.
+    [[nodiscard]] static std::size_t env_threads() noexcept;
+
     /// Optional-pool dispatch shared by the batch APIs: run on the pool
     /// when one is given, inline on the caller otherwise. Results are
     /// identical either way (see parallel_for).

@@ -1,8 +1,7 @@
 #include "uhd/common/thread_pool.hpp"
 
+#include <cstdlib>
 #include <exception>
-
-#include "uhd/common/config.hpp"
 
 namespace uhd {
 
@@ -96,9 +95,23 @@ void thread_pool::parallel_for(std::size_t n,
     if (shared_state.error) std::rethrow_exception(shared_state.error);
 }
 
+std::size_t thread_pool::env_threads() noexcept {
+    // Parsed directly (not via env_int, which throws on negatives): a value
+    // like UHD_THREADS=-1 cast through size_t would request ~2^64 workers.
+    // Anything non-positive, unparsable, or absurdly large (including
+    // strtoll's LLONG_MAX overflow saturation) clamps to 0 = hardware
+    // concurrency rather than asking the pool to spawn it.
+    constexpr long long max_reasonable = 4096;
+    const char* raw = std::getenv("UHD_THREADS");
+    if (raw == nullptr || *raw == '\0') return 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(raw, &end, 10);
+    if (end == raw || value < 0 || value > max_reasonable) return 0;
+    return static_cast<std::size_t>(value);
+}
+
 thread_pool& thread_pool::shared() {
-    static thread_pool pool(
-        static_cast<std::size_t>(env_int("UHD_THREADS", 0)));
+    static thread_pool pool(env_threads());
     return pool;
 }
 

@@ -63,6 +63,11 @@ public:
         return classifier_.class_hypervector(c);
     }
 
+    /// Packed associative memory backing binarized-mode inference.
+    [[nodiscard]] const hdc::class_memory& packed_class_memory() const noexcept {
+        return classifier_.packed_class_memory();
+    }
+
     /// Serialize to a binary stream (magic 'uHDm', versioned).
     void save(std::ostream& os) const;
 

@@ -11,12 +11,37 @@ namespace {
 constexpr std::uint32_t model_magic = 0x6d444875u; // "uHDm" little-endian
 constexpr std::uint32_t model_version = 1;
 
+// Geometry bounds shared by construction and load: every model the library
+// can build passes them (so save/load round-trips by construction), and a
+// corrupt stream trips them before any allocation sized from its fields.
+void validate_geometry(std::size_t dim, data::image_shape shape,
+                       std::size_t classes) {
+    UHD_REQUIRE(dim >= 1 && dim <= (std::size_t{1} << 30),
+                "model dimension out of range");
+    // Per-field bounds first: pixels() is a product that could wrap modulo
+    // 2^64 for absurd individual fields. 2^20 each keeps it exact.
+    for (const std::size_t field : {shape.rows, shape.cols, shape.channels}) {
+        UHD_REQUIRE(field >= 1 && field <= (std::size_t{1} << 20),
+                    "model image shape out of range");
+    }
+    const std::size_t pixels = shape.pixels();
+    UHD_REQUIRE(pixels <= (std::size_t{1} << 30),
+                "model image shape out of range");
+    UHD_REQUIRE(classes >= 2 && classes <= (std::size_t{1} << 20),
+                "model class count out of range");
+    UHD_REQUIRE(pixels <= (std::size_t{1} << 33) / dim,
+                "model threshold bank size out of range");
+    UHD_REQUIRE(classes <= (std::size_t{1} << 31) / dim,
+                "model class-accumulator size out of range");
+}
+
 } // namespace
 
 uhd_model::uhd_model(const uhd_config& config, data::image_shape shape,
                      std::size_t classes, hdc::train_mode mode,
                      hdc::query_mode inference)
-    : encoder_(config, shape), classifier_(encoder_, classes, mode, inference) {}
+    : encoder_((validate_geometry(config.dim, shape, classes), config), shape),
+      classifier_(encoder_, classes, mode, inference) {}
 
 uhd_model uhd_model::train(const uhd_config& config, const data::dataset& train_set,
                            hdc::train_mode mode, hdc::query_mode inference) {
@@ -71,6 +96,10 @@ void uhd_model::save_file(const std::string& path) const {
     std::ofstream os(path, std::ios::binary);
     UHD_REQUIRE(os.good(), "cannot open model file for writing: " + path);
     save(os);
+    // A full disk can fail a buffered write after save() returns; flush and
+    // re-check so truncated models are an error, not a silent artifact.
+    os.flush();
+    UHD_REQUIRE(os.good(), "short write while saving model file: " + path);
 }
 
 uhd_model uhd_model::load(std::istream& is) {
@@ -84,6 +113,10 @@ uhd_model uhd_model::load(std::istream& is) {
     shape.cols = static_cast<std::size_t>(io::read_u64(is));
     shape.channels = static_cast<std::size_t>(io::read_u64(is));
     const std::size_t classes = static_cast<std::size_t>(io::read_u64(is));
+    // Same bounds the constructor enforces: a corrupt stream must fail
+    // cleanly here rather than drive a multi-gigabyte bank/accumulator
+    // allocation below.
+    validate_geometry(cfg.dim, shape, classes);
     const hdc::train_mode mode = io::read_u32(is) == 1u ? hdc::train_mode::raw_sums
                                                         : hdc::train_mode::binarized_images;
     const hdc::query_mode inference = io::read_u32(is) == 1u ? hdc::query_mode::integer

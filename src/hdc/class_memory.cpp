@@ -1,0 +1,43 @@
+#include "uhd/hdc/class_memory.hpp"
+
+#include <algorithm>
+
+#include "uhd/common/error.hpp"
+#include "uhd/common/simd.hpp"
+
+namespace uhd::hdc {
+
+class_memory::class_memory(std::size_t classes, std::size_t dim)
+    : classes_(classes), dim_(dim), words_(simd::sign_words(dim)),
+      rows_(classes * words_, 0) {
+    UHD_REQUIRE(classes >= 1, "class memory needs at least one class");
+    UHD_REQUIRE(dim >= 1, "class memory needs a positive dimension");
+}
+
+void class_memory::store(std::size_t c, const hypervector& hv) {
+    UHD_REQUIRE(c < classes_, "class index out of range");
+    UHD_REQUIRE(hv.dim() == dim_, "hypervector dimension mismatch");
+    const auto words = hv.bits().words();
+    std::copy(words.begin(), words.end(), rows_.begin() + static_cast<std::ptrdiff_t>(c * words_));
+}
+
+std::span<const std::uint64_t> class_memory::row(std::size_t c) const {
+    UHD_REQUIRE(c < classes_, "class index out of range");
+    return {rows_.data() + c * words_, words_};
+}
+
+std::size_t class_memory::nearest(std::span<const std::uint64_t> query_words,
+                                  std::uint64_t* distance_out) const {
+    UHD_REQUIRE(classes_ >= 1, "nearest() on an empty class memory");
+    UHD_REQUIRE(query_words.size() == words_, "query word count mismatch");
+    return simd::hamming_argmin(query_words.data(), rows_.data(), words_, classes_,
+                                distance_out);
+}
+
+std::size_t class_memory::nearest(const hypervector& query,
+                                  std::uint64_t* distance_out) const {
+    UHD_REQUIRE(query.dim() == dim_, "query dimension mismatch");
+    return nearest(query.bits().words(), distance_out);
+}
+
+} // namespace uhd::hdc

@@ -16,21 +16,32 @@
 // An optional perceptron-style retraining pass (AdaptHD-like, the "w/
 // retrain" rows of Fig. 6(b)) is provided as an extension.
 //
+// Inference runs on the packed associative-memory engine: binarized-mode
+// queries are sign-binarized word-parallel (simd::sign_binarize) and
+// answered by a Hamming-argmin scan over the contiguous class_memory —
+// bit-identical to the per-class cosine argmax it replaced (cosine is
+// strictly decreasing in Hamming distance for fixed D, ties first-wins in
+// both). Integer-mode queries use the blocked dot-product kernels with the
+// per-class norms cached at finalization.
+//
 // The Encoder type must provide:
 //   std::size_t dim() const;
 //   void encode(std::span<const std::uint8_t>, std::span<std::int32_t>) const;
 #ifndef UHD_HDC_CLASSIFIER_HPP
 #define UHD_HDC_CLASSIFIER_HPP
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "uhd/common/error.hpp"
+#include "uhd/common/simd.hpp"
 #include "uhd/common/thread_pool.hpp"
 #include "uhd/data/dataset.hpp"
 #include "uhd/data/metrics.hpp"
 #include "uhd/hdc/accumulator.hpp"
+#include "uhd/hdc/class_memory.hpp"
 #include "uhd/hdc/similarity.hpp"
 
 namespace uhd::hdc {
@@ -54,10 +65,12 @@ public:
     hd_classifier(const Encoder& encoder, std::size_t classes,
                   train_mode mode = train_mode::binarized_images,
                   query_mode inference = query_mode::binarized)
-        : encoder_(&encoder), classes_(classes), mode_(mode), inference_(inference) {
+        : encoder_(&encoder), classes_(classes), mode_(mode), inference_(inference),
+          class_mem_(classes, encoder.dim()) {
         UHD_REQUIRE(classes >= 2, "need at least two classes");
         class_acc_.assign(classes_, accumulator(encoder.dim()));
         class_hv_.assign(classes_, hypervector(encoder.dim()));
+        class_norm_sq_.assign(classes_, 0.0);
     }
 
     [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
@@ -77,28 +90,47 @@ public:
     }
 
     /// Incrementally add one labeled example (dynamic/online training).
+    /// Only the touched class is re-binarized, so an online update costs
+    /// O(D) rather than O(classes * D).
     void partial_fit(std::span<const std::uint8_t> image, std::size_t label) {
         UHD_REQUIRE(label < classes_, "label out of range");
         std::vector<std::int32_t> scratch(encoder_->dim());
         encoder_->encode(image, scratch);
         bundle_into(label, scratch);
-        finalize();
+        finalize_class(label);
     }
 
-    /// Predict the class of one image (argmax cosine similarity).
+    /// Predict the class of one image.
     [[nodiscard]] std::size_t predict(std::span<const std::uint8_t> image) const {
         // Reused per thread: predict_batch calls this once per image from
         // every pool worker, so per-call allocation would dominate.
         static thread_local std::vector<std::int32_t> scratch;
         scratch.resize(encoder_->dim());
         encoder_->encode(image, scratch);
-        std::size_t best = 0;
-        double best_similarity = -2.0;
+        return predict_encoded(scratch);
+    }
+
+    /// Predict from an already-encoded accumulator (shared by predict and
+    /// retrain so each image is encoded exactly once). Binarized mode:
+    /// word-parallel sign-binarize + Hamming-argmin over the packed class
+    /// memory. Integer mode: blocked dot products against the class
+    /// accumulators with cached class norms (cosine argmax, first-wins).
+    [[nodiscard]] std::size_t predict_encoded(
+        std::span<const std::int32_t> encoded) const {
+        UHD_REQUIRE(encoded.size() == encoder_->dim(), "encoded size mismatch");
         if (inference_ == query_mode::integer) {
+            const double query_norm_sq =
+                simd::sum_squares_i32(encoded.data(), encoded.size());
+            std::size_t best = 0;
+            double best_similarity = -2.0;
             for (std::size_t c = 0; c < classes_; ++c) {
-                const double similarity =
-                    cosine(std::span<const std::int32_t>(scratch),
-                           class_acc_[c].values());
+                double similarity = 0.0; // zero-norm convention of cosine()
+                if (query_norm_sq > 0.0 && class_norm_sq_[c] > 0.0) {
+                    similarity =
+                        simd::dot_i32(encoded.data(), class_acc_[c].values().data(),
+                                      encoded.size()) /
+                        std::sqrt(query_norm_sq * class_norm_sq_[c]);
+                }
                 if (similarity > best_similarity) {
                     best_similarity = similarity;
                     best = c;
@@ -106,20 +138,12 @@ public:
             }
             return best;
         }
-        // Binarize the query (the hardware emits sign bits, Fig. 5).
-        bs::bitstream bits(encoder_->dim());
-        for (std::size_t d = 0; d < scratch.size(); ++d) {
-            if (scratch[d] < 0) bits.set_bit(d, true);
-        }
-        const hypervector query(std::move(bits));
-        for (std::size_t c = 0; c < classes_; ++c) {
-            const double similarity = cosine(query, class_hv_[c]);
-            if (similarity > best_similarity) {
-                best_similarity = similarity;
-                best = c;
-            }
-        }
-        return best;
+        // Binarize the query word-parallel (the hardware emits sign bits,
+        // Fig. 5) and answer it with the associative memory.
+        static thread_local std::vector<std::uint64_t> query_words;
+        query_words.resize(simd::sign_words(encoded.size()));
+        simd::sign_binarize(encoded.data(), encoded.size(), query_words.data());
+        return class_mem_.nearest(query_words);
     }
 
     /// Predict every image of a dataset into `out` (one label slot per
@@ -172,11 +196,20 @@ public:
             last_epoch_updates = 0;
             for (std::size_t i = 0; i < train.size(); ++i) {
                 const std::size_t truth = train.label(i);
-                const std::size_t predicted = predict(train.image(i));
-                if (predicted == truth) continue;
+                // Encode once and predict from the accumulator — the seed
+                // path encoded every misclassified image a second time.
                 encoder_->encode(train.image(i), scratch);
+                const std::size_t predicted = predict_encoded(scratch);
+                if (predicted == truth) continue;
                 class_acc_[truth].add_values(scratch);
                 class_acc_[predicted].subtract_values(scratch);
+                // Integer-mode predictions compare against the live
+                // accumulators, so their cached norms must follow each
+                // update; binarized class vectors refresh at epoch end.
+                if (inference_ == query_mode::integer) {
+                    refresh_norm(truth);
+                    refresh_norm(predicted);
+                }
                 ++last_epoch_updates;
             }
             finalize();
@@ -197,6 +230,12 @@ public:
         return class_acc_[c];
     }
 
+    /// Packed associative memory over the binarized class vectors (the
+    /// inference engine's class store).
+    [[nodiscard]] const class_memory& packed_class_memory() const noexcept {
+        return class_mem_;
+    }
+
     /// Restore class accumulators (deserialization support); class
     /// hypervectors are re-derived by binarization.
     void load_state(std::vector<accumulator> accumulators) {
@@ -208,9 +247,10 @@ public:
         finalize();
     }
 
-    /// Heap footprint of the model (class accumulators + hypervectors).
+    /// Heap footprint of the model (class accumulators + hypervectors +
+    /// packed associative memory).
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
-        std::size_t bytes = 0;
+        std::size_t bytes = class_mem_.memory_bytes();
         for (const auto& a : class_acc_) bytes += a.memory_bytes();
         for (const auto& v : class_hv_) bytes += v.memory_bytes();
         return bytes;
@@ -222,16 +262,29 @@ private:
             class_acc_[label].add_values(encoded);
             return;
         }
-        // Binarize the image hypervector first (hardware semantics).
+        // Binarize the image hypervector first (hardware semantics); the
+        // kernel zeroes the tail bits, preserving the bitstream invariant.
         bs::bitstream bits(encoder_->dim());
-        for (std::size_t d = 0; d < encoded.size(); ++d) {
-            if (encoded[d] < 0) bits.set_bit(d, true);
-        }
+        simd::sign_binarize(encoded.data(), encoded.size(),
+                            bits.mutable_words().data());
         class_acc_[label].add(hypervector(std::move(bits)));
     }
 
+    /// Re-derive the binarized vector, packed row, and cached norm of one
+    /// class from its accumulator.
+    void finalize_class(std::size_t c) {
+        class_hv_[c] = class_acc_[c].sign();
+        class_mem_.store(c, class_hv_[c]);
+        refresh_norm(c);
+    }
+
+    void refresh_norm(std::size_t c) {
+        const auto values = class_acc_[c].values();
+        class_norm_sq_[c] = simd::sum_squares_i32(values.data(), values.size());
+    }
+
     void finalize() {
-        for (std::size_t c = 0; c < classes_; ++c) class_hv_[c] = class_acc_[c].sign();
+        for (std::size_t c = 0; c < classes_; ++c) finalize_class(c);
     }
 
     const Encoder* encoder_;
@@ -240,6 +293,8 @@ private:
     query_mode inference_;
     std::vector<accumulator> class_acc_;
     std::vector<hypervector> class_hv_;
+    class_memory class_mem_;
+    std::vector<double> class_norm_sq_;
 };
 
 } // namespace uhd::hdc

@@ -86,6 +86,107 @@ TEST(Classifier, PartialFitAddsKnowledge) {
     EXPECT_GT(clf.evaluate(train), 0.4);
 }
 
+/// Encoder adapter that counts encode() calls — the classifier is generic
+/// over the encoder, so this measures exactly how many times retrain and
+/// friends hit the (expensive) encode path.
+struct counting_encoder {
+    const core::uhd_encoder* inner;
+    mutable std::size_t encodes = 0;
+
+    [[nodiscard]] std::size_t dim() const { return inner->dim(); }
+    void encode(std::span<const std::uint8_t> image,
+                std::span<std::int32_t> out) const {
+        ++encodes;
+        inner->encode(image, out);
+    }
+};
+
+TEST(Classifier, RetrainEncodesEachImageExactlyOncePerEpoch) {
+    const auto train = tiny_digits(120, 19);
+    core::uhd_config cfg;
+    cfg.dim = 64; // small D so some images stay misclassified
+    const core::uhd_encoder enc(cfg, train.shape());
+    const counting_encoder counted{&enc};
+    hd_classifier<counting_encoder> clf(counted, 10, train_mode::raw_sums,
+                                        query_mode::integer);
+    clf.fit(train);
+    counted.encodes = 0;
+    const std::size_t updates = clf.retrain(train, 1);
+    // The seed path encoded every misclassified image twice (once inside
+    // predict, once again for the update).
+    EXPECT_GT(updates, 0u) << "workload too easy to exercise the regression";
+    EXPECT_EQ(counted.encodes, train.size());
+}
+
+TEST(Classifier, RetrainMatchesSeedSemantics) {
+    // The single-encode retrain must produce the same model as the seed
+    // formulation (predict, then re-encode on a miss): same update
+    // sequence, same predictions. Integer mode, where both formulations
+    // compare queries against the live accumulators, is emulated exactly
+    // through the public load_state surface.
+    const auto train = tiny_digits(100, 20);
+    core::uhd_config cfg;
+    cfg.dim = 128;
+    const core::uhd_encoder enc(cfg, train.shape());
+    hd_classifier<core::uhd_encoder> fast(enc, 10, train_mode::raw_sums,
+                                          query_mode::integer);
+    hd_classifier<core::uhd_encoder> seed(enc, 10, train_mode::raw_sums,
+                                          query_mode::integer);
+    fast.fit(train);
+    seed.fit(train);
+    fast.retrain(train, 2);
+    // Seed-style epochs: predict (re-encoding internally), then encode
+    // again for the update.
+    std::vector<std::int32_t> scratch(enc.dim());
+    for (int epoch = 0; epoch < 2; ++epoch) {
+        std::size_t updates = 0;
+        for (std::size_t i = 0; i < train.size(); ++i) {
+            const std::size_t truth = train.label(i);
+            const std::size_t predicted = seed.predict(train.image(i));
+            if (predicted == truth) continue;
+            enc.encode(train.image(i), scratch);
+            ++updates;
+            std::vector<accumulator> accs;
+            for (std::size_t c = 0; c < 10; ++c) {
+                accs.push_back(seed.class_accumulator(c));
+            }
+            accs[truth].add_values(scratch);
+            accs[predicted].subtract_values(scratch);
+            seed.load_state(std::move(accs));
+        }
+        if (updates == 0) break;
+    }
+    for (std::size_t i = 0; i < train.size(); ++i) {
+        ASSERT_EQ(fast.predict(train.image(i)), seed.predict(train.image(i)))
+            << "image " << i;
+    }
+}
+
+TEST(Classifier, PartialFitKeepsEveryClassVectorConsistent) {
+    // partial_fit re-binarizes only the touched class; after any interleaved
+    // update sequence every class hypervector must still equal the sign of
+    // its accumulator, and the packed memory row must match it.
+    const auto train = tiny_digits(60, 18);
+    core::uhd_config cfg;
+    cfg.dim = 200; // non-multiple-of-64
+    const core::uhd_encoder enc(cfg, train.shape());
+    for (const train_mode tm : {train_mode::raw_sums, train_mode::binarized_images}) {
+        hd_classifier<core::uhd_encoder> clf(enc, 10, tm, query_mode::binarized);
+        for (std::size_t i = 0; i < train.size(); ++i) {
+            clf.partial_fit(train.image(i), train.label(i));
+        }
+        for (std::size_t c = 0; c < 10; ++c) {
+            EXPECT_EQ(clf.class_hypervector(c), clf.class_accumulator(c).sign())
+                << "class " << c;
+            const auto row = clf.packed_class_memory().row(c);
+            const auto words = clf.class_hypervector(c).bits().words();
+            for (std::size_t w = 0; w < row.size(); ++w) {
+                EXPECT_EQ(row[w], words[w]) << "class " << c << " word " << w;
+            }
+        }
+    }
+}
+
 TEST(Classifier, RetrainDoesNotDegradeTrainAccuracy) {
     const auto train = tiny_digits(150, 7);
     core::uhd_config cfg;

@@ -65,6 +65,50 @@ TEST(Model, LoadRejectsCorruptStream) {
     EXPECT_THROW((void)uhd_model::load(garbage), uhd::error);
 }
 
+TEST(Model, LoadRejectsTruncatedFile) {
+    // A partially written model (full disk, killed process) must fail
+    // cleanly at every truncation point, never load garbage or OOM.
+    const auto train = data::make_synthetic_digits(40, 30);
+    const uhd_model model = uhd_model::train(small_config(), train);
+    std::stringstream buffer;
+    model.save(buffer);
+    const std::string full = buffer.str();
+    ASSERT_GT(full.size(), 64u);
+    for (const double fraction : {0.1, 0.35, 0.6, 0.9, 0.999}) {
+        const auto cut = static_cast<std::size_t>(
+            static_cast<double>(full.size()) * fraction);
+        std::stringstream truncated(full.substr(0, cut));
+        EXPECT_THROW((void)uhd_model::load(truncated), uhd::error)
+            << "truncated at " << cut << "/" << full.size();
+    }
+}
+
+TEST(Model, LoadRejectsImplausibleHeaderFields) {
+    // Corrupt-but-complete headers (absurd dim / class count) must be
+    // rejected before any allocation sized from them.
+    const auto train = data::make_synthetic_digits(40, 34);
+    const uhd_model model = uhd_model::train(small_config(), train);
+    std::stringstream buffer;
+    model.save(buffer);
+    std::string bytes = buffer.str();
+    // Offset 8 is cfg.dim (after the 8-byte magic+version header); stamp an
+    // absurd value over it.
+    for (std::size_t i = 0; i < 8; ++i) bytes[8 + i] = static_cast<char>(0xFF);
+    std::stringstream corrupt(bytes);
+    EXPECT_THROW((void)uhd_model::load(corrupt), uhd::error);
+}
+
+TEST(Model, SaveFileReportsWriteFailure) {
+    // /dev/full accepts the open but fails every flush with ENOSPC — the
+    // exact silent-truncation case save_file must surface.
+    if (!std::filesystem::exists("/dev/full")) {
+        GTEST_SKIP() << "/dev/full not available";
+    }
+    const auto train = data::make_synthetic_digits(40, 35);
+    const uhd_model model = uhd_model::train(small_config(), train);
+    EXPECT_THROW(model.save_file("/dev/full"), uhd::error);
+}
+
 TEST(Model, PartialFitMatchesBatchFitForRawSums) {
     const auto train = data::make_synthetic_digits(60, 25);
     uhd_model batch(small_config(), train.shape(), 10, hdc::train_mode::raw_sums);

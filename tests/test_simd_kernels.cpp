@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "uhd/common/rng.hpp"
@@ -184,6 +188,118 @@ TEST(SimdKernels, PopcountReductionsMatchNaive) {
     }
 }
 
+TEST(SimdKernels, SignBinarizeVariantsMatchReference) {
+    xoshiro256ss rng(88);
+    for (int trial = 0; trial < 200; ++trial) {
+        // Dims straddle word boundaries: 1..320 covers non-multiples of 64,
+        // exact multiples, and the single-word case.
+        const std::size_t n = 1 + rng.next() % 320;
+        std::vector<std::int32_t> values(n);
+        for (auto& v : values) {
+            // Mix of negative, zero, and positive (zero must map to +1 /
+            // bit 0, the accumulator::sign tie rule).
+            v = static_cast<std::int32_t>(rng.next() % 7) - 3;
+        }
+        std::vector<std::uint64_t> reference(simd::sign_words(n), ~std::uint64_t{0});
+        std::vector<std::uint64_t> swar(simd::sign_words(n), ~std::uint64_t{0});
+        simd::sign_binarize_reference(values.data(), n, reference.data());
+        simd::sign_binarize_swar(values.data(), n, swar.data());
+        EXPECT_EQ(reference, swar) << "n=" << n;
+
+#ifdef __AVX2__
+        std::vector<std::uint64_t> avx(simd::sign_words(n), ~std::uint64_t{0});
+        simd::sign_binarize_avx2(values.data(), n, avx.data());
+        EXPECT_EQ(reference, avx) << "n=" << n;
+#endif
+
+        std::vector<std::uint64_t> dispatched(simd::sign_words(n), ~std::uint64_t{0});
+        simd::sign_binarize(values.data(), n, dispatched.data());
+        EXPECT_EQ(reference, dispatched) << "n=" << n;
+
+        // Tail bits beyond n must be zero (the bitstream invariant).
+        if (n % 64 != 0) {
+            const std::uint64_t tail_mask = ~std::uint64_t{0} << (n % 64);
+            EXPECT_EQ(dispatched.back() & tail_mask, 0u);
+        }
+    }
+}
+
+TEST(SimdKernels, SignBinarizeExtremeValues) {
+    const std::vector<std::int32_t> values = {INT32_MIN, INT32_MAX, 0, -1, 1,
+                                              INT32_MIN + 1, INT32_MAX - 1};
+    std::vector<std::uint64_t> reference(1);
+    std::vector<std::uint64_t> dispatched(1);
+    simd::sign_binarize_reference(values.data(), values.size(), reference.data());
+    simd::sign_binarize(values.data(), values.size(), dispatched.data());
+    EXPECT_EQ(reference, dispatched);
+    EXPECT_EQ(reference[0], 0b0101001u); // bits set where value < 0
+}
+
+TEST(SimdKernels, HammingDistanceWordsMatchesScalar) {
+    xoshiro256ss rng(99);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 1 + rng.next() % 40; // crosses the 4-word AVX2 step
+        std::vector<std::uint64_t> a(n);
+        std::vector<std::uint64_t> b(n);
+        for (auto& w : a) w = rng.next();
+        for (auto& w : b) w = rng.next();
+        EXPECT_EQ(simd::hamming_distance_words(a.data(), b.data(), n),
+                  simd::xor_popcount_words(a.data(), b.data(), n));
+#ifdef __AVX2__
+        EXPECT_EQ(simd::xor_popcount_words_avx2(a.data(), b.data(), n),
+                  simd::xor_popcount_words(a.data(), b.data(), n));
+#endif
+    }
+}
+
+TEST(SimdKernels, HammingArgminMatchesReference) {
+    xoshiro256ss rng(111);
+    for (int trial = 0; trial < 150; ++trial) {
+        const std::size_t words = 1 + rng.next() % 20;
+        const std::size_t rows = 1 + rng.next() % 16;
+        std::vector<std::uint64_t> memory(words * rows);
+        std::vector<std::uint64_t> query(words);
+        for (auto& w : memory) w = rng.next();
+        for (auto& w : query) w = rng.next();
+        // Duplicate a row occasionally so distance ties occur.
+        if (rows > 1 && trial % 3 == 0) {
+            std::copy(memory.begin(), memory.begin() + static_cast<std::ptrdiff_t>(words),
+                      memory.begin() + static_cast<std::ptrdiff_t>((rows - 1) * words));
+        }
+        std::uint64_t ref_distance = 0;
+        std::uint64_t distance = 0;
+        const std::size_t ref = simd::hamming_argmin_reference(
+            query.data(), memory.data(), words, rows, &ref_distance);
+        const std::size_t got =
+            simd::hamming_argmin(query.data(), memory.data(), words, rows, &distance);
+        EXPECT_EQ(got, ref);
+        EXPECT_EQ(distance, ref_distance);
+    }
+}
+
+TEST(SimdKernels, BlockedDotKernelsMatchNaive) {
+    xoshiro256ss rng(122);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 1 + rng.next() % 500;
+        std::vector<std::int32_t> a(n);
+        std::vector<std::int32_t> b(n);
+        for (auto& v : a) v = static_cast<std::int32_t>(rng.next() % 20001) - 10000;
+        for (auto& v : b) v = static_cast<std::int32_t>(rng.next() % 20001) - 10000;
+        double naive_dot = 0.0;
+        double naive_sq = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            naive_dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+            naive_sq += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+        }
+        // Lane-split accumulation reorders the rounding, so compare to a
+        // relative tolerance rather than bit-exact.
+        const double scale = std::max(1.0, std::abs(naive_dot));
+        EXPECT_NEAR(simd::dot_i32(a.data(), b.data(), n), naive_dot, 1e-9 * scale);
+        EXPECT_NEAR(simd::sum_squares_i32(a.data(), n), naive_sq,
+                    1e-9 * std::max(1.0, naive_sq));
+    }
+}
+
 TEST(SimdKernels, MaskedSumMatchesNaive) {
     xoshiro256ss rng(55);
     for (int trial = 0; trial < 50; ++trial) {
@@ -312,26 +428,30 @@ TEST(BatchClassifier, PredictBatchAndEvaluateAreThreadCountInvariant) {
     const auto test = data::make_synthetic_digits(30, 6);
     const core::uhd_config cfg{.dim = 256};
     const core::uhd_encoder enc(cfg, train.shape());
-    hdc::hd_classifier<core::uhd_encoder> clf(enc, train.num_classes(),
-                                              hdc::train_mode::raw_sums,
-                                              hdc::query_mode::integer);
-    clf.fit(train);
+    // Both query modes must be thread-count invariant: integer (blocked dot
+    // kernels) and binarized (packed associative-memory engine).
+    for (const hdc::query_mode qm :
+         {hdc::query_mode::integer, hdc::query_mode::binarized}) {
+        hdc::hd_classifier<core::uhd_encoder> clf(enc, train.num_classes(),
+                                                  hdc::train_mode::raw_sums, qm);
+        clf.fit(train);
 
-    const std::vector<std::size_t> serial = clf.predict_batch(test);
-    const double serial_accuracy = clf.evaluate(test);
-    for (const std::size_t threads : {1u, 2u, 3u, 4u}) {
-        thread_pool pool(threads);
-        EXPECT_EQ(clf.predict_batch(test, &pool), serial) << "threads=" << threads;
-        data::confusion_matrix serial_matrix(test.num_classes());
-        data::confusion_matrix pooled_matrix(test.num_classes());
-        EXPECT_DOUBLE_EQ(clf.evaluate(test, &serial_matrix),
-                         clf.evaluate(test, &pooled_matrix, &pool));
-        for (std::size_t t = 0; t < test.num_classes(); ++t) {
-            for (std::size_t p = 0; p < test.num_classes(); ++p) {
-                EXPECT_EQ(serial_matrix.count(t, p), pooled_matrix.count(t, p));
+        const std::vector<std::size_t> serial = clf.predict_batch(test);
+        const double serial_accuracy = clf.evaluate(test);
+        for (const std::size_t threads : {1u, 2u, 3u, 4u}) {
+            thread_pool pool(threads);
+            EXPECT_EQ(clf.predict_batch(test, &pool), serial) << "threads=" << threads;
+            data::confusion_matrix serial_matrix(test.num_classes());
+            data::confusion_matrix pooled_matrix(test.num_classes());
+            EXPECT_DOUBLE_EQ(clf.evaluate(test, &serial_matrix),
+                             clf.evaluate(test, &pooled_matrix, &pool));
+            for (std::size_t t = 0; t < test.num_classes(); ++t) {
+                for (std::size_t p = 0; p < test.num_classes(); ++p) {
+                    EXPECT_EQ(serial_matrix.count(t, p), pooled_matrix.count(t, p));
+                }
             }
+            EXPECT_DOUBLE_EQ(clf.evaluate(test, nullptr, &pool), serial_accuracy);
         }
-        EXPECT_DOUBLE_EQ(clf.evaluate(test, nullptr, &pool), serial_accuracy);
     }
 }
 
@@ -347,6 +467,37 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
                                     [](int h) { return h == 1; }))
                 << "threads=" << threads << " n=" << n;
         }
+    }
+}
+
+TEST(ThreadPool, EnvThreadsClampsNegativeAndGarbage) {
+    // Regression: UHD_THREADS=-1 used to be cast through size_t, requesting
+    // ~2^64 workers. Non-positive or unparsable values must fall back to 0
+    // (= hardware concurrency).
+    const char* saved = std::getenv("UHD_THREADS");
+    const std::string saved_value = saved != nullptr ? saved : "";
+
+    ::setenv("UHD_THREADS", "-1", 1);
+    EXPECT_EQ(thread_pool::env_threads(), 0u);
+    ::setenv("UHD_THREADS", "-9999999999999", 1);
+    EXPECT_EQ(thread_pool::env_threads(), 0u);
+    ::setenv("UHD_THREADS", "garbage", 1);
+    EXPECT_EQ(thread_pool::env_threads(), 0u);
+    // Absurd positive requests (including strtoll overflow saturation)
+    // must not ask the pool to actually spawn that many workers.
+    ::setenv("UHD_THREADS", "1000000000", 1);
+    EXPECT_EQ(thread_pool::env_threads(), 0u);
+    ::setenv("UHD_THREADS", "999999999999999999999999", 1);
+    EXPECT_EQ(thread_pool::env_threads(), 0u);
+    ::setenv("UHD_THREADS", "", 1);
+    EXPECT_EQ(thread_pool::env_threads(), 0u);
+    ::setenv("UHD_THREADS", "3", 1);
+    EXPECT_EQ(thread_pool::env_threads(), 3u);
+    ::unsetenv("UHD_THREADS");
+    EXPECT_EQ(thread_pool::env_threads(), 0u);
+
+    if (saved != nullptr) {
+        ::setenv("UHD_THREADS", saved_value.c_str(), 1);
     }
 }
 
