@@ -110,6 +110,27 @@ inline double time_encode_batch(const core::uhd_encoder& enc, const data::datase
     return watch.seconds();
 }
 
+// --- shared train-throughput measurement ----------------------------------
+
+/// Seconds for the seed-era sequential training loop over the first `n`
+/// dataset images: per-image pinned-scalar-oracle encode + bundle into the
+/// class accumulator, then per-class sign binarization. One definition of
+/// the baseline every training speedup is measured against.
+inline double time_fit_seed(const core::uhd_encoder& enc, const data::dataset& ds,
+                            std::size_t n) {
+    stopwatch watch;
+    std::vector<hdc::accumulator> acc(ds.num_classes(), hdc::accumulator(enc.dim()));
+    std::vector<std::int32_t> scratch(enc.dim());
+    for (std::size_t i = 0; i < n; ++i) {
+        enc.encode_scalar(ds.image(i), scratch);
+        acc[ds.label(i)].add_values(scratch);
+    }
+    std::size_t sink = 0;
+    for (const auto& a : acc) sink += a.sign().count_negative();
+    if (sink == static_cast<std::size_t>(-1)) std::printf("#\n"); // keep sink live
+    return watch.seconds();
+}
+
 // --- shared inference-throughput measurement ------------------------------
 //
 // One definition of the inference baselines for every bench that reports

@@ -3,15 +3,20 @@
 // (scalar oracle vs word-parallel), sequence generation, and similarity
 // search.
 //
-// The custom main() additionally runs two direct throughput measurements
+// The custom main() additionally runs three direct throughput measurements
 // and writes machine-readable results (schemas in bench/README.md):
 //  * encode on 28x28 synthetic MNIST-shaped images at D=1024 (scalar vs
 //    word-parallel vs batched vs pool-parallel) -> BENCH_encode.json
 //    (override the path with UHD_BENCH_JSON, workload with
 //    UHD_BENCH_IMAGES);
+//  * training on the same MNIST-shaped workload (seed sequential loop vs
+//    the current sequential fit vs the mini-batch parallel engine at
+//    several pool sizes, determinism-gated) -> BENCH_train.json (override
+//    with UHD_BENCH_TRAIN_JSON, workload with UHD_BENCH_TRAIN_IMAGES);
 //  * inference over pre-encoded queries at D=8192 / 10 classes (seed
 //    per-class-cosine path vs the packed associative-memory engine, both
-//    query modes) -> BENCH_inference.json (override with
+//    query modes, plus the calibrated dynamic-dimension cascade with its
+//    agreement/scan gates) -> BENCH_inference.json (override with
 //    UHD_BENCH_INFER_JSON, workload with UHD_BENCH_QUERIES).
 #include <benchmark/benchmark.h>
 
@@ -328,6 +333,28 @@ void BM_HammingArgmin(benchmark::State& state) {
 }
 BENCHMARK(BM_HammingArgmin)->Arg(1024)->Arg(8192);
 
+void BM_HammingArgmin2Prefix(benchmark::State& state) {
+    // The dynamic-dimension query kernel: argmin + runner-up margin over a
+    // D/8 prefix window of each packed class row (state.range = full D).
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const std::size_t classes = 10;
+    xoshiro256ss rng(5);
+    const std::size_t words = simd::sign_words(dim);
+    const std::size_t window = std::max<std::size_t>(1, words / 8);
+    std::vector<std::uint64_t> memory(classes * words);
+    std::vector<std::uint64_t> query(words);
+    for (auto& w : memory) w = rng.next();
+    for (auto& w : query) w = rng.next();
+    for (auto _ : state) {
+        const auto r = simd::hamming_argmin2_prefix(query.data(), memory.data(),
+                                                    words, window, classes);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(classes * window * 64));
+}
+BENCHMARK(BM_HammingArgmin2Prefix)->Arg(1024)->Arg(8192);
+
 void BM_BlockedDotI32(benchmark::State& state) {
     const auto dim = static_cast<std::size_t>(state.range(0));
     xoshiro256ss rng(6);
@@ -458,6 +485,145 @@ void run_encode_throughput() {
                cfg.quant_levels, images_n, entries);
 }
 
+// --- direct train-throughput comparison + BENCH_train.json ----------------
+
+struct train_entry {
+    std::string name;
+    std::size_t threads;
+    double seconds;
+    double images_per_s;
+    double speedup_vs_seed;
+};
+
+void write_train_json(const std::string& path, const data::image_shape& shape,
+                      std::size_t dim, unsigned quant_levels, std::size_t images,
+                      std::size_t classes, bool deterministic,
+                      const std::vector<train_entry>& entries) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"train\",\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f,
+                 "  \"workload\": {\"rows\": %zu, \"cols\": %zu, \"dim\": %zu, "
+                 "\"quant_levels\": %u, \"images\": %zu, \"classes\": %zu},\n",
+                 shape.rows, shape.cols, dim, quant_levels, images, classes);
+    std::fprintf(f, "  \"simd\": {\"avx2\": %s},\n",
+                 simd::has_avx2() ? "true" : "false");
+    std::fprintf(f, "  \"determinism\": {\"parallel_matches_sequential\": %s},\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(f, "  \"entries\": [\n");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto& e = entries[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"threads\": %zu, \"seconds\": %.6f, "
+                     "\"images_per_s\": %.1f, \"speedup_vs_seed\": %.2f}%s\n",
+                     e.name.c_str(), e.threads, e.seconds, e.images_per_s,
+                     e.speedup_vs_seed, i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+}
+
+[[nodiscard]] int run_train_throughput() {
+    // The acceptance workload: synthetic MNIST-shaped 28x28 images at
+    // D=1024, 10 classes. The baseline is the seed's per-image sequential
+    // loop (pinned-scalar encode + bundle); the engine entries are the
+    // current sequential fit (word-parallel encode) and the mini-batch
+    // parallel fit at several pool sizes.
+    const std::size_t dim = 1024;
+    const auto images_n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(env_int("UHD_BENCH_TRAIN_IMAGES", 128)));
+    const data::dataset ds = data::make_synthetic_digits(images_n, 7); // 28x28
+    core::uhd_config cfg;
+    cfg.dim = dim;
+    const core::uhd_encoder enc(cfg, ds.shape());
+
+    // Determinism gate before any timing: the parallel engine must be
+    // bit-identical to the sequential fit, or its speedup means nothing.
+    hdc::hd_classifier<core::uhd_encoder> clf_seq(enc, ds.num_classes(),
+                                                  hdc::train_mode::raw_sums);
+    clf_seq.fit(ds);
+    bool deterministic = true;
+    {
+        thread_pool pool(3);
+        hdc::hd_classifier<core::uhd_encoder> clf_par(enc, ds.num_classes(),
+                                                      hdc::train_mode::raw_sums);
+        clf_par.fit_parallel(ds, &pool);
+        for (std::size_t c = 0; c < clf_seq.classes() && deterministic; ++c) {
+            const auto a = clf_seq.class_accumulator(c).values();
+            const auto b = clf_par.class_accumulator(c).values();
+            for (std::size_t d = 0; d < a.size(); ++d) {
+                if (a[d] != b[d]) {
+                    deterministic = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<train_entry> entries;
+    const auto record = [&](const std::string& name, std::size_t threads,
+                            double seconds) {
+        train_entry e;
+        e.name = name;
+        e.threads = threads;
+        e.seconds = seconds;
+        e.images_per_s = static_cast<double>(images_n) / seconds;
+        e.speedup_vs_seed = entries.empty() ? 1.0 : entries.front().seconds / seconds;
+        entries.push_back(e);
+        std::printf("%-28s %8.1f img/s  %5.2fx\n", name.c_str(), e.images_per_s,
+                    e.speedup_vs_seed);
+    };
+
+    std::printf("\n== train throughput: 28x28, D=%zu, %zu classes, %zu images ==\n",
+                dim, ds.num_classes(), images_n);
+    std::printf("parallel-fit vs sequential fit: %s\n",
+                deterministic ? "bit-identical" : "MISMATCH!");
+
+    record("fit_seed_sequential", 1, bench::time_fit_seed(enc, ds, images_n));
+    {
+        hdc::hd_classifier<core::uhd_encoder> clf(enc, ds.num_classes(),
+                                                  hdc::train_mode::raw_sums);
+        stopwatch watch;
+        clf.fit(ds);
+        record("fit_sequential", 1, watch.seconds());
+    }
+    {
+        hdc::hd_classifier<core::uhd_encoder> clf(enc, ds.num_classes(),
+                                                  hdc::train_mode::raw_sums);
+        stopwatch watch;
+        clf.fit_parallel(ds, nullptr);
+        record("fit_parallel_1t", 1, watch.seconds());
+    }
+    double best_parallel_speedup = 0.0;
+    for (const std::size_t threads : {2u, 4u}) {
+        thread_pool pool(threads - 1);
+        hdc::hd_classifier<core::uhd_encoder> clf(enc, ds.num_classes(),
+                                                  hdc::train_mode::raw_sums);
+        stopwatch watch;
+        clf.fit_parallel(ds, &pool);
+        record("fit_parallel_" + std::to_string(threads) + "t", threads,
+               watch.seconds());
+        best_parallel_speedup =
+            std::max(best_parallel_speedup, entries.back().speedup_vs_seed);
+    }
+
+    const bool speedup_ok = best_parallel_speedup >= 4.0;
+    std::printf("multi-thread parallel fit vs seed sequential loop: %.2fx %s\n",
+                best_parallel_speedup,
+                speedup_ok ? "(target >= 4x: PASS)" : "(target >= 4x: MISS)");
+
+    write_train_json(env_string("UHD_BENCH_TRAIN_JSON", "BENCH_train.json"),
+                     ds.shape(), dim, cfg.quant_levels, images_n, ds.num_classes(),
+                     deterministic, entries);
+    return deterministic && speedup_ok ? 0 : 1;
+}
+
 // --- direct inference-throughput comparison + BENCH_inference.json --------
 
 struct inference_entry {
@@ -469,9 +635,20 @@ struct inference_entry {
     double speedup_vs_scalar;
 };
 
+/// Dynamic-dimension cascade measurements for the inference JSON.
+struct dynamic_report {
+    double target_agreement = 0.0;
+    std::size_t matched = 0;          ///< argmax agreement with full-D
+    std::size_t queries = 0;
+    double avg_words_scanned = 0.0;   ///< packed words popcounted per query
+    std::size_t full_words = 0;       ///< classes * words_per_class
+    std::vector<hdc::dynamic_stage> stages;
+    std::vector<std::size_t> exits;   ///< per-stage exit counts
+};
+
 void write_inference_json(const std::string& path, std::size_t dim,
                           std::size_t classes, std::size_t queries,
-                          std::size_t matched,
+                          std::size_t matched, const dynamic_report& dynamic,
                           const std::vector<inference_entry>& entries) {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -480,7 +657,7 @@ void write_inference_json(const std::string& path, std::size_t dim,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"inference\",\n");
-    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
     std::fprintf(f,
                  "  \"workload\": {\"dim\": %zu, \"classes\": %zu, "
                  "\"queries\": %zu},\n",
@@ -489,6 +666,35 @@ void write_inference_json(const std::string& path, std::size_t dim,
                  simd::has_avx2() ? "true" : "false");
     std::fprintf(f, "  \"agreement\": {\"matched\": %zu, \"queries\": %zu},\n",
                  matched, queries);
+    std::fprintf(f, "  \"dynamic\": {\n");
+    std::fprintf(f, "    \"target_agreement\": %.4f,\n", dynamic.target_agreement);
+    std::fprintf(f, "    \"agreement\": {\"matched\": %zu, \"queries\": %zu},\n",
+                 dynamic.matched, dynamic.queries);
+    std::fprintf(f, "    \"avg_words_scanned_per_query\": %.1f,\n",
+                 dynamic.avg_words_scanned);
+    std::fprintf(f, "    \"full_words_per_query\": %zu,\n", dynamic.full_words);
+    std::fprintf(f, "    \"avg_scan_fraction\": %.4f,\n",
+                 dynamic.full_words == 0
+                     ? 1.0
+                     : dynamic.avg_words_scanned /
+                           static_cast<double>(dynamic.full_words));
+    std::fprintf(f, "    \"stages\": [\n");
+    for (std::size_t s = 0; s < dynamic.stages.size(); ++s) {
+        const bool disabled = dynamic.stages[s].margin_threshold ==
+                              hdc::dynamic_query_policy::disabled_threshold;
+        std::fprintf(f, "      {\"window_words\": %zu, \"margin_threshold\": ",
+                     dynamic.stages[s].window_words);
+        if (disabled) {
+            std::fprintf(f, "null");
+        } else {
+            std::fprintf(f, "%llu",
+                         static_cast<unsigned long long>(
+                             dynamic.stages[s].margin_threshold));
+        }
+        std::fprintf(f, ", \"exits\": %zu}%s\n", dynamic.exits[s],
+                     s + 1 < dynamic.stages.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  },\n");
     std::fprintf(f, "  \"entries\": [\n");
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const auto& e = entries[i];
@@ -587,19 +793,77 @@ void write_inference_json(const std::string& path, std::size_t dim,
                queries_n,
                [&](std::size_t i) { return clf_int.predict_encoded(query(i)); },
                sink));
+
+    // --- dynamic-dimension early-exit cascade ----------------------------
+    // Calibrated on a held-out synthetic set (fresh seed) for 99% agreement
+    // with the full-D answer, then evaluated on the bench queries: argmax
+    // agreement, average packed words scanned, and the per-stage exit
+    // histogram all land in the JSON and are gated below.
+    const double target_agreement = 0.99;
+    const data::dataset calib_set = data::make_synthetic_digits(
+        std::max<std::size_t>(64, queries_n / 2), 13);
+    const hdc::dynamic_query_policy policy =
+        clf_bin.calibrate_dynamic(calib_set, target_agreement);
+
+    hdc::dynamic_query_summary summary(policy.stages().size());
+    for (std::size_t i = 0; i < queries_n; ++i) {
+        hdc::dynamic_query_stats stats;
+        const std::size_t answer =
+            clf_bin.predict_dynamic_encoded(query(i), policy, &stats);
+        summary.record(stats, answer == clf_bin.predict_encoded(query(i)));
+    }
+    dynamic_report dyn;
+    dyn.target_agreement = target_agreement;
+    dyn.queries = queries_n;
+    dyn.matched = summary.agreements;
+    dyn.full_words = clf_bin.packed_class_memory().classes() *
+                     clf_bin.packed_class_memory().words_per_class();
+    dyn.stages.assign(policy.stages().begin(), policy.stages().end());
+    dyn.exits = summary.exits;
+    dyn.avg_words_scanned = summary.avg_words_scanned();
+    const double scan_fraction =
+        dyn.avg_words_scanned / static_cast<double>(dyn.full_words);
+
+    record("inference_dynamic_am", "binarized",
+           bench::time_inference(
+               queries_n,
+               [&](std::size_t i) {
+                   return clf_bin.predict_dynamic_encoded(query(i), policy);
+               },
+               sink));
     benchmark::DoNotOptimize(sink);
+
+    std::printf("dynamic cascade (target %.0f%%): agreement %zu/%zu, avg words "
+                "scanned %.1f/%zu (%.1f%%)\n",
+                100.0 * target_agreement, dyn.matched, queries_n,
+                dyn.avg_words_scanned, dyn.full_words, 100.0 * scan_fraction);
+    std::printf("exit histogram:");
+    for (std::size_t s = 0; s < dyn.stages.size(); ++s) {
+        std::printf(" D/%zu:%zu",
+                    clf_bin.packed_class_memory().words_per_class() /
+                        dyn.stages[s].window_words,
+                    dyn.exits[s]);
+    }
+    std::printf("\n");
 
     const double speedup = entries[0].seconds / entries[1].seconds;
     std::printf("packed associative-memory vs seed cosine speedup: %.2fx %s\n",
                 speedup,
                 speedup >= 5.0 ? "(target >= 5x: PASS)" : "(target >= 5x: MISS)");
+    const bool dynamic_agreement_ok =
+        static_cast<double>(dyn.matched) >= 0.98 * static_cast<double>(queries_n);
+    const bool dynamic_scan_ok = scan_fraction <= 0.5;
+    std::printf("dynamic gates: agreement >= 98%%: %s, avg scan <= 50%%: %s\n",
+                dynamic_agreement_ok ? "PASS" : "MISS",
+                dynamic_scan_ok ? "PASS" : "MISS");
 
     write_inference_json(env_string("UHD_BENCH_INFER_JSON", "BENCH_inference.json"),
                          dim, clf_bin.classes(), queries_n, queries_n - mismatches,
-                         entries);
-    // A broken bit-identity is a regression, not a bench result: fail the
-    // run so CI's bench smoke surfaces it.
-    return mismatches == 0 ? 0 : 1;
+                         dyn, entries);
+    // A broken bit-identity — or a cascade that misses its calibrated
+    // agreement/scan targets — is a regression, not a bench result: fail
+    // the run so CI's bench smoke surfaces it.
+    return mismatches == 0 && dynamic_agreement_ok && dynamic_scan_ok ? 0 : 1;
 }
 
 } // namespace
@@ -610,5 +874,7 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     run_encode_throughput();
-    return run_inference_throughput();
+    const int train_status = run_train_throughput();
+    const int inference_status = run_inference_throughput();
+    return train_status != 0 ? train_status : inference_status;
 }

@@ -46,6 +46,93 @@ void report_encode_throughput(const uhd::core::uhd_encoder& enc,
     line("batched (shared pool)", batched_s);
 }
 
+/// Train-throughput report for one encoder at one D: the seed sequential
+/// loop (pinned-scalar encode + bundle per image) vs the current sequential
+/// fit vs the mini-batch parallel engine on the shared pool.
+void report_train_throughput(const uhd::core::uhd_encoder& enc,
+                             const uhd::data::dataset& full_train) {
+    using namespace uhd;
+    const std::size_t n = full_train.size() < 128 ? full_train.size() : 128;
+    data::dataset train(full_train.shape(), full_train.num_classes());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto img = full_train.image(i);
+        train.add(std::vector<std::uint8_t>(img.begin(), img.end()),
+                  full_train.label(i));
+    }
+
+    const double seed_s = bench::time_fit_seed(enc, train, n);
+    double fit_s = 0.0;
+    {
+        hdc::hd_classifier<core::uhd_encoder> clf(enc, train.num_classes(),
+                                                  hdc::train_mode::raw_sums);
+        stopwatch watch;
+        clf.fit(train);
+        fit_s = watch.seconds();
+    }
+    double parallel_s = 0.0;
+    {
+        hdc::hd_classifier<core::uhd_encoder> clf(enc, train.num_classes(),
+                                                  hdc::train_mode::raw_sums);
+        stopwatch watch;
+        clf.fit_parallel(train, &thread_pool::shared());
+        parallel_s = watch.seconds();
+    }
+
+    const auto line = [&](const char* name, double seconds) {
+        std::printf("#   %-22s %9.1f img/s  %5.2fx\n", name,
+                    static_cast<double>(n) / seconds, seed_s / seconds);
+    };
+    std::printf("# train throughput at D=%zu (%zu images):\n", enc.dim(), n);
+    line("seed sequential loop", seed_s);
+    line("fit (sequential)", fit_s);
+    line("fit_parallel (pool)", parallel_s);
+}
+
+/// Dynamic-dimension inference report for one trained classifier at one D:
+/// cascade calibrated on training data for 99% agreement, evaluated on the
+/// test set (argmax agreement with full-D, average packed words scanned,
+/// per-stage exit histogram).
+void report_dynamic_inference(
+    const uhd::hdc::hd_classifier<uhd::core::uhd_encoder>& clf_int,
+    const uhd::data::dataset& train, const uhd::data::dataset& test) {
+    using namespace uhd;
+    const auto clf_bin =
+        bench::clone_with_query_mode(clf_int, hdc::query_mode::binarized);
+    const std::size_t n = test.size() < 256 ? test.size() : 256;
+
+    const hdc::dynamic_query_policy policy =
+        clf_bin.calibrate_dynamic(train, 0.99, &thread_pool::shared());
+    const std::size_t full_words = clf_bin.packed_class_memory().classes() *
+                                   clf_bin.packed_class_memory().words_per_class();
+
+    // Pre-encode each query once; both the cascade and the full-D answer
+    // read the same accumulator.
+    const core::uhd_encoder& enc = clf_bin.encoder();
+    const std::vector<std::int32_t> encoded = bench::encode_queries(enc, test, n);
+    hdc::dynamic_query_summary summary(policy.stages().size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const std::int32_t> query(encoded.data() + i * enc.dim(),
+                                                  enc.dim());
+        hdc::dynamic_query_stats stats;
+        const std::size_t answer =
+            clf_bin.predict_dynamic_encoded(query, policy, &stats);
+        summary.record(stats, answer == clf_bin.predict_encoded(query));
+    }
+    std::printf("# dynamic inference at D=%zu (%zu queries, calibrated 99%%): "
+                "agreement %zu/%zu, avg words %.1f/%zu (%.1f%%), exits",
+                clf_bin.encoder().dim(), n, summary.agreements, n,
+                summary.avg_words_scanned(), full_words,
+                100.0 * summary.avg_words_scanned() /
+                    static_cast<double>(full_words));
+    for (std::size_t s = 0; s < policy.stages().size(); ++s) {
+        std::printf(" D/%zu:%zu",
+                    clf_bin.packed_class_memory().words_per_class() /
+                        policy.stages()[s].window_words,
+                    summary.exits[s]);
+    }
+    std::printf("\n");
+}
+
 /// Inference-throughput report for one trained classifier at one D: the
 /// seed per-class-cosine path vs the packed associative-memory engine
 /// (binarized mode) and the blocked dot-product kernels (integer mode),
@@ -137,11 +224,15 @@ int main() {
         hdc::hd_classifier<core::uhd_encoder> uhd_clf(
             uhd, train.num_classes(), hdc::train_mode::raw_sums,
             hdc::query_mode::integer);
-        uhd_clf.fit(train);
+        // uHD training runs through the mini-batch parallel engine
+        // (bit-identical to the sequential fit for any thread count).
+        uhd_clf.fit_parallel(train, &thread_pool::shared());
         const double uhd_accuracy = uhd_clf.evaluate(test, nullptr,
                                                      &thread_pool::shared());
         report_encode_throughput(uhd, test);
+        report_train_throughput(uhd, train);
         report_inference_throughput(uhd_clf, test);
+        report_dynamic_inference(uhd_clf, train, test);
 
         std::vector<std::string> cells = {dim == 1024   ? "1K"
                                           : dim == 2048 ? "2K"

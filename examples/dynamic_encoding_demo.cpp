@@ -1,48 +1,110 @@
-// Dynamic (online) hypervector encoding demo — the "Dynamic" in the paper's
-// title: because uHD's encoder is deterministic and single-iteration, class
-// hypervectors can be built incrementally on an edge device, one labeled
-// sample at a time, with no iterative re-generation of item memories.
+// Dynamic uHD demo — both "dynamic" senses of the paper's title in one
+// program:
 //
-// The demo streams training images one by one, tracks accuracy on a held-out
-// set as the model absorbs data, and contrasts the uHD stream-table encode
-// path (what the Fig. 5 hardware executes) against the software fast path.
+//  1. Dynamic (online) training: uHD's encoder is deterministic and
+//     single-iteration, so class hypervectors can absorb a stream of
+//     labeled samples one at a time (partial_fit) and batches can be
+//     folded in afterwards through the mini-batch parallel engine
+//     (fit_parallel — bit-identical to the sequential fit for any thread
+//     count).
+//  2. Dynamic (dimension-sliced) inference: the early-exit cascade answers
+//     easy queries from a D/8 prefix of every packed class row and only
+//     escalates to D/4, D/2, and full D when the top-1/top-2 Hamming
+//     margin is too small; thresholds are calibrated on held-out data for
+//     a target agreement rate with the full-D answer.
 //
-//   UHD_STREAM_N=800 ./dynamic_encoding_demo
+//   UHD_STREAM_N=800 UHD_TARGET_AGREE=99 ./dynamic_encoding_demo
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "uhd/common/config.hpp"
+#include "uhd/common/stopwatch.hpp"
+#include "uhd/common/thread_pool.hpp"
 #include "uhd/core/model.hpp"
 #include "uhd/data/synthetic.hpp"
 #include "uhd/sim/uhd_datapath.hpp"
 
 int main() {
     using namespace uhd;
-    const auto stream_n = static_cast<std::size_t>(env_int("UHD_STREAM_N", 600));
+    const auto stream_n = static_cast<std::size_t>(env_int("UHD_STREAM_N", 400));
+    const double target =
+        static_cast<double>(env_int("UHD_TARGET_AGREE", 99)) / 100.0;
 
     const data::dataset stream = data::make_synthetic_digits(stream_n, 11);
+    const data::dataset batch = data::make_synthetic_digits(stream_n, 33);
+    const data::dataset calib = data::make_synthetic_digits(200, 44);
     const data::dataset holdout = data::make_synthetic_digits(250, 22);
 
     core::uhd_config config;
-    config.dim = 1024;
-    core::uhd_model model(config, stream.shape(), 10, hdc::train_mode::raw_sums);
+    config.dim = 2048;
+    core::uhd_model model(config, stream.shape(), 10, hdc::train_mode::raw_sums,
+                          hdc::query_mode::binarized);
 
+    // --- dynamic training: stream first, then a parallel batch ------------
     std::printf("online training on a stream of %zu labeled images\n", stream.size());
     std::printf("%8s %12s\n", "seen", "holdout (%)");
+    const std::size_t report_every = std::max<std::size_t>(1, stream.size() / 4);
     for (std::size_t i = 0; i < stream.size(); ++i) {
         model.partial_fit(stream.image(i), stream.label(i));
-        if ((i + 1) % (stream.size() / 6) == 0 || i + 1 == stream.size()) {
+        if ((i + 1) % report_every == 0 || i + 1 == stream.size()) {
             std::printf("%8zu %12.2f\n", i + 1, 100.0 * model.evaluate(holdout));
         }
     }
 
-    // One optional retraining epoch (the AdaptHD-style extension).
-    const std::size_t updates = model.retrain(stream, 1);
-    std::printf("after 1 retrain epoch (%zu updates): %.2f%%\n", updates,
-                100.0 * model.evaluate(holdout));
+    thread_pool& pool = thread_pool::shared();
+    stopwatch watch;
+    model.fit_parallel(batch, &pool);
+    const double fit_seconds = watch.seconds(); // before the evaluate below
+    std::printf("folded in a batch of %zu images via fit_parallel (%zu compute "
+                "threads) in %.3fs -> holdout %.2f%%\n",
+                batch.size(), pool.size() + 1, fit_seconds,
+                100.0 * model.evaluate(holdout, nullptr, &pool));
 
-    // Show that the hardware datapath agrees bit-for-bit with the software
-    // encoder on a fresh sample — the property that makes the model
-    // deployable on the Fig. 5 pipeline without retraining.
+    // One mini-batch parallel retraining epoch (the AdaptHD-style
+    // extension; bit-identical to the sequential retrain).
+    const std::size_t updates = model.retrain(stream, 1, &pool);
+    std::printf("after 1 retrain epoch (%zu updates): %.2f%%\n", updates,
+                100.0 * model.evaluate(holdout, nullptr, &pool));
+
+    // --- dynamic inference: the calibrated early-exit cascade -------------
+    const hdc::dynamic_query_policy policy =
+        model.calibrate_dynamic(calib, target, &pool);
+    const std::size_t words = model.packed_class_memory().words_per_class();
+    const std::size_t full_words = model.classes() * words;
+
+    std::printf("\ncascade calibrated for %.0f%% agreement (windows in 64-bit "
+                "words per class row, full row = %zu words):\n",
+                100.0 * target, words);
+    hdc::dynamic_query_summary summary(policy.stages().size());
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < holdout.size(); ++i) {
+        hdc::dynamic_query_stats stats;
+        const std::size_t answer = model.predict_dynamic(holdout.image(i), policy,
+                                                         &stats);
+        summary.record(stats, answer == model.predict(holdout.image(i)));
+        if (answer == holdout.label(i)) ++correct;
+    }
+    for (std::size_t s = 0; s < policy.stages().size(); ++s) {
+        const auto& stage = policy.stages()[s];
+        std::printf("  stage %zu: window %3zu words (D/%zu)  exits %3zu/%zu\n", s,
+                    stage.window_words, words / stage.window_words,
+                    summary.exits[s], holdout.size());
+    }
+    std::printf("agreement with full-D inference: %zu/%zu (%.1f%%)\n",
+                summary.agreements, holdout.size(),
+                100.0 * summary.agreement_rate());
+    std::printf("accuracy: %.2f%%, avg packed words scanned per query: %.1f/%zu "
+                "(%.1f%%)\n",
+                100.0 * static_cast<double>(correct) /
+                    static_cast<double>(holdout.size()),
+                summary.avg_words_scanned(), full_words,
+                100.0 * summary.avg_words_scanned() /
+                    static_cast<double>(full_words));
+
+    // The hardware datapath still agrees bit-for-bit with the software
+    // encoder — the property that makes the streamed model deployable on
+    // the Fig. 5 pipeline without retraining.
     const sim::uhd_datapath_sim datapath(model.encoder());
     const auto hv_hw = datapath.run(holdout.image(0));
     const auto hv_sw = model.encoder().encode_sign(holdout.image(0));

@@ -530,6 +530,101 @@ UHD_SCALAR_REFERENCE inline std::size_t hamming_argmin_reference(
     return best;
 }
 
+// --- prefix-window Hamming kernels (dynamic-dimension queries) ------------
+//
+// Same row-major packed memory as hamming_argmin, but only the first
+// `prefix_words` of each `row_words`-word row are reduced — the kernel
+// behind dimension-truncated associative search (answer a query from a
+// D/8, D/4, ... prefix of every class row and escalate only when the
+// top-1/top-2 margin is too small). Ties keep the first-wins rule, so a
+// full-window call (prefix_words == row_words) is bit-identical to
+// hamming_argmin.
+
+/// argmin + runner-up of a prefix-window Hamming scan.
+struct argmin2_result {
+    std::size_t index;       ///< nearest row (lowest index on ties)
+    std::uint64_t distance;  ///< winning distance over the window
+    std::uint64_t runner_up; ///< second-best distance (all-ones when n_rows < 2)
+};
+
+/// argmin + runner-up over a u64 distance array (first-wins on ties; the
+/// runner-up may equal the winner when two rows tie).
+[[nodiscard]] inline argmin2_result argmin2_u64(const std::uint64_t* distances,
+                                                std::size_t n_rows) noexcept {
+    argmin2_result r{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
+    for (std::size_t i = 0; i < n_rows; ++i) {
+        const std::uint64_t d = distances[i];
+        if (d < r.distance) {
+            r.runner_up = r.distance;
+            r.distance = d;
+            r.index = i;
+        } else if (d < r.runner_up) {
+            r.runner_up = d;
+        }
+    }
+    return r;
+}
+
+/// Pinned scalar oracle for the prefix-window argmin + runner-up scan.
+UHD_SCALAR_REFERENCE inline argmin2_result hamming_argmin2_prefix_reference(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t row_words,
+    std::size_t prefix_words, std::size_t n_rows) noexcept {
+    argmin2_result r{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
+    for (std::size_t row = 0; row < n_rows; ++row) {
+        std::uint64_t distance = 0;
+        UHD_NOVECTOR_LOOP
+        for (std::size_t w = 0; w < prefix_words; ++w) {
+            distance += static_cast<std::uint64_t>(
+                std::popcount(query[w] ^ rows[row * row_words + w]));
+        }
+        if (distance < r.distance) {
+            r.runner_up = r.distance;
+            r.distance = distance;
+            r.index = row;
+        } else if (distance < r.runner_up) {
+            r.runner_up = distance;
+        }
+    }
+    return r;
+}
+
+/// Best available prefix-window argmin + runner-up: each row's first
+/// `prefix_words` words reduced with the widest XOR+popcount kernel the
+/// build carries. Bit-identical to the reference (tests enforce it).
+[[nodiscard]] inline argmin2_result hamming_argmin2_prefix(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t row_words,
+    std::size_t prefix_words, std::size_t n_rows) noexcept {
+    argmin2_result r{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
+    for (std::size_t row = 0; row < n_rows; ++row) {
+        const std::uint64_t distance =
+            hamming_distance_words(query, rows + row * row_words, prefix_words);
+        if (distance < r.distance) {
+            r.runner_up = r.distance;
+            r.distance = distance;
+            r.index = row;
+        } else if (distance < r.runner_up) {
+            r.runner_up = distance;
+        }
+    }
+    return r;
+}
+
+/// Extend running per-row distances by the window [from_word, to_word):
+/// distances[r] += popcount(query ^ row_r) over those words. The early-exit
+/// cascade grows each stage's window incrementally with this, so the total
+/// words scanned per query is n_rows * final_window (never re-scanned), and
+/// the accumulated distances are bit-identical to a fresh prefix scan.
+inline void hamming_extend_words(const std::uint64_t* query, const std::uint64_t* rows,
+                                 std::size_t row_words, std::size_t from_word,
+                                 std::size_t to_word, std::size_t n_rows,
+                                 std::uint64_t* distances) noexcept {
+    const std::size_t span = to_word - from_word;
+    for (std::size_t row = 0; row < n_rows; ++row) {
+        distances[row] += hamming_distance_words(
+            query + from_word, rows + row * row_words + from_word, span);
+    }
+}
+
 // --- blocked int32 dot-product kernels (integer-cosine inference) ---------
 //
 // Each product is computed exactly in int64 (|a|,|b| <= 2^31 so the product

@@ -37,6 +37,11 @@ public:
     /// Single-pass fit (may be called once on a fresh model).
     void fit(const data::dataset& train_set);
 
+    /// Mini-batch thread-parallel fit: bit-identical to fit() for every
+    /// thread count and batch size (see hdc::hd_classifier::fit_parallel).
+    void fit_parallel(const data::dataset& train_set, thread_pool* pool = nullptr,
+                      hdc::trainer_options options = {});
+
     /// Online update with one labeled image (dynamic training).
     void partial_fit(std::span<const std::uint8_t> image, std::size_t label);
 
@@ -56,6 +61,28 @@ public:
 
     /// AdaptHD-style retraining extension (see hdc::hd_classifier::retrain).
     std::size_t retrain(const data::dataset& train_set, std::size_t epochs);
+
+    /// Mini-batch thread-parallel retraining (binarized query mode;
+    /// bit-identical to the sequential retrain — integer mode falls back
+    /// to it, see hdc::hd_classifier).
+    std::size_t retrain(const data::dataset& train_set, std::size_t epochs,
+                        thread_pool* pool, std::size_t batch_images = 256);
+
+    /// Dynamic-dimension inference: answer through the early-exit cascade
+    /// over the packed class memory, reading only a prefix of each class
+    /// row when the policy's calibrated margin clears. The cascade's full-D
+    /// stage equals binarized-mode prediction regardless of the model's
+    /// configured query mode.
+    [[nodiscard]] std::size_t predict_dynamic(
+        std::span<const std::uint8_t> image, const hdc::dynamic_query_policy& policy,
+        hdc::dynamic_query_stats* stats = nullptr) const;
+
+    /// Calibrate an early-exit policy on held-out data for a target
+    /// agreement rate with full-D inference (see
+    /// hdc::hd_classifier::calibrate_dynamic).
+    [[nodiscard]] hdc::dynamic_query_policy calibrate_dynamic(
+        const data::dataset& holdout, double target_agreement,
+        thread_pool* pool = nullptr) const;
 
     [[nodiscard]] const uhd_encoder& encoder() const noexcept { return encoder_; }
     [[nodiscard]] std::size_t classes() const noexcept { return classifier_.classes(); }

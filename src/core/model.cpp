@@ -53,6 +53,11 @@ uhd_model uhd_model::train(const uhd_config& config, const data::dataset& train_
 
 void uhd_model::fit(const data::dataset& train_set) { classifier_.fit(train_set); }
 
+void uhd_model::fit_parallel(const data::dataset& train_set, thread_pool* pool,
+                             hdc::trainer_options options) {
+    classifier_.fit_parallel(train_set, pool, options);
+}
+
 void uhd_model::partial_fit(std::span<const std::uint8_t> image, std::size_t label) {
     classifier_.partial_fit(image, label);
 }
@@ -73,6 +78,23 @@ std::vector<std::size_t> uhd_model::predict_batch(const data::dataset& set,
 
 std::size_t uhd_model::retrain(const data::dataset& train_set, std::size_t epochs) {
     return classifier_.retrain(train_set, epochs);
+}
+
+std::size_t uhd_model::retrain(const data::dataset& train_set, std::size_t epochs,
+                               thread_pool* pool, std::size_t batch_images) {
+    return classifier_.retrain(train_set, epochs, pool, batch_images);
+}
+
+std::size_t uhd_model::predict_dynamic(std::span<const std::uint8_t> image,
+                                       const hdc::dynamic_query_policy& policy,
+                                       hdc::dynamic_query_stats* stats) const {
+    return classifier_.predict_dynamic(image, policy, stats);
+}
+
+hdc::dynamic_query_policy uhd_model::calibrate_dynamic(const data::dataset& holdout,
+                                                       double target_agreement,
+                                                       thread_pool* pool) const {
+    return classifier_.calibrate_dynamic(holdout, target_agreement, pool);
 }
 
 void uhd_model::save(std::ostream& os) const {

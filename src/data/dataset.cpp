@@ -29,6 +29,13 @@ std::span<const std::uint8_t> dataset::image(std::size_t i) const {
     return {values_.data() + i * shape_.values(), shape_.values()};
 }
 
+std::span<const std::uint8_t> dataset::images(std::size_t begin,
+                                              std::size_t count) const {
+    UHD_REQUIRE(begin <= labels_.size() && count <= labels_.size() - begin,
+                "image range out of bounds");
+    return {values_.data() + begin * shape_.values(), count * shape_.values()};
+}
+
 std::size_t dataset::label(std::size_t i) const {
     UHD_REQUIRE(i < labels_.size(), "label index out of range");
     return labels_[i];

@@ -51,6 +51,12 @@ public:
     /// Raw values of image `i` (length shape().values()).
     [[nodiscard]] std::span<const std::uint8_t> image(std::size_t i) const;
 
+    /// Raw values of images [begin, begin + count) back-to-back (images are
+    /// stored in one contiguous buffer, so a mini-batch is a single span —
+    /// the zero-copy input of the batch encode/train engines).
+    [[nodiscard]] std::span<const std::uint8_t> images(std::size_t begin,
+                                                       std::size_t count) const;
+
     /// Label of image `i`.
     [[nodiscard]] std::size_t label(std::size_t i) const;
 

@@ -11,7 +11,11 @@ std::int32_t accumulator::value(std::size_t i) const {
 
 void accumulator::add(const hypervector& v) {
     UHD_REQUIRE(v.dim() == dim(), "hypervector dimension mismatch");
-    const auto words = v.bits().words();
+    add_sign_words(v.bits().words());
+}
+
+void accumulator::add_sign_words(std::span<const std::uint64_t> words) {
+    UHD_REQUIRE(words.size() == (dim() + 63) / 64, "sign word count mismatch");
     for (std::size_t w = 0; w < words.size(); ++w) {
         std::uint64_t bits = words[w];
         const std::size_t base = w * 64;

@@ -34,6 +34,21 @@ std::size_t class_memory::nearest(std::span<const std::uint64_t> query_words,
                                 distance_out);
 }
 
+class_memory::prefix_result class_memory::nearest_prefix(
+    std::span<const std::uint64_t> query_words, std::size_t window_words) const {
+    UHD_REQUIRE(classes_ >= 1, "nearest_prefix() on an empty class memory");
+    UHD_REQUIRE(window_words >= 1 && window_words <= words_,
+                "prefix window out of range");
+    UHD_REQUIRE(query_words.size() >= window_words, "query shorter than window");
+    const simd::argmin2_result r = simd::hamming_argmin2_prefix(
+        query_words.data(), rows_.data(), words_, window_words, classes_);
+    // Saturating margin: a single-row memory has no runner-up, so every
+    // window is maximally decisive.
+    const std::uint64_t margin =
+        r.runner_up == ~std::uint64_t{0} ? ~std::uint64_t{0} : r.runner_up - r.distance;
+    return prefix_result{r.index, r.distance, margin};
+}
+
 std::size_t class_memory::nearest(const hypervector& query,
                                   std::uint64_t* distance_out) const {
     UHD_REQUIRE(query.dim() == dim_, "query dimension mismatch");

@@ -35,6 +35,12 @@ public:
     /// Add a packed hypervector element-wise (+1/-1 per dimension).
     void add(const hypervector& v);
 
+    /// Add a +-1 vector given as ceil(dim/64) packed sign words (bit 1 =
+    /// -1, tail bits beyond dim() zero — the sign_binarize output). Same
+    /// semantics as add(hypervector) without materializing one: the
+    /// allocation-free bundling path of the training engine.
+    void add_sign_words(std::span<const std::uint64_t> words);
+
     /// Subtract a packed hypervector element-wise.
     void subtract(const hypervector& v);
 

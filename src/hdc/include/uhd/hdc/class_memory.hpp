@@ -58,6 +58,24 @@ public:
     [[nodiscard]] std::size_t nearest(const hypervector& query,
                                       std::uint64_t* distance_out = nullptr) const;
 
+    /// Result of a prefix-window associative search (nearest_prefix).
+    struct prefix_result {
+        std::size_t index;       ///< nearest row over the window (first-wins)
+        std::uint64_t distance;  ///< its Hamming distance over the window
+        std::uint64_t margin;    ///< runner-up distance minus winning distance
+                                 ///< (all-ones when the memory has one row)
+    };
+
+    /// Associative search truncated to the first `window_words` words of
+    /// every row (the first 64 * window_words of the dim() sign bits): the
+    /// dynamic-dimension query primitive. A full-window call
+    /// (window_words == words_per_class()) is bit-identical to nearest(),
+    /// and the margin is the top-1/top-2 Hamming gap the early-exit cascade
+    /// thresholds on. `query_words` must hold at least `window_words` words
+    /// with the same packing as nearest().
+    [[nodiscard]] prefix_result nearest_prefix(
+        std::span<const std::uint64_t> query_words, std::size_t window_words) const;
+
     /// Heap footprint of the packed rows (Table I memory accounting).
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
         return rows_.capacity() * sizeof(std::uint64_t);

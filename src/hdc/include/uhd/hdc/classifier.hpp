@@ -24,12 +24,25 @@
 // both). Integer-mode queries use the blocked dot-product kernels with the
 // per-class norms cached at finalization.
 //
+// Training scales two ways beyond the sequential fit() loop:
+// * fit_parallel — the mini-batch thread-parallel engine (hdc/trainer.hpp):
+//   per-worker class accumulators filled through the encoder's batch path
+//   and reduced in fixed class/lane order, bit-identical to fit() for any
+//   thread count.
+// * retrain(train, epochs, pool) — mini-batch parallel perceptron epochs
+//   (binarized mode; bit-identical to the sequential retrain).
+// Inference scales down as well as out: predict_dynamic answers queries
+// through the dynamic-dimension early-exit cascade (hdc/dynamic_query.hpp),
+// reading only a calibrated prefix of each packed class row on easy
+// queries and escalating to the full D otherwise.
+//
 // The Encoder type must provide:
 //   std::size_t dim() const;
 //   void encode(std::span<const std::uint8_t>, std::span<std::int32_t>) const;
 #ifndef UHD_HDC_CLASSIFIER_HPP
 #define UHD_HDC_CLASSIFIER_HPP
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -42,15 +55,11 @@
 #include "uhd/data/metrics.hpp"
 #include "uhd/hdc/accumulator.hpp"
 #include "uhd/hdc/class_memory.hpp"
+#include "uhd/hdc/dynamic_query.hpp"
 #include "uhd/hdc/similarity.hpp"
+#include "uhd/hdc/trainer.hpp" // train_mode + the mini-batch parallel engine
 
 namespace uhd::hdc {
-
-/// How image encodings are bundled into class accumulators.
-enum class train_mode {
-    binarized_images, ///< sign() each image hypervector before bundling
-    raw_sums,         ///< bundle the integer accumulators directly
-};
 
 /// How a query is compared against the trained classes.
 enum class query_mode {
@@ -79,6 +88,8 @@ public:
     [[nodiscard]] const Encoder& encoder() const noexcept { return *encoder_; }
 
     /// Single-pass training over the dataset (labels must be < classes()).
+    /// This is the sequential per-image loop — the oracle fit_parallel is
+    /// tested against.
     void fit(const data::dataset& train) {
         UHD_REQUIRE(train.num_classes() <= classes_, "dataset has too many classes");
         std::vector<std::int32_t> scratch(encoder_->dim());
@@ -89,14 +100,30 @@ public:
         finalize();
     }
 
+    /// Mini-batch thread-parallel fit (the batch training engine): the set
+    /// is split into one contiguous chunk per pool lane, each chunk bundled
+    /// into private per-class accumulators through the encoder's batch
+    /// path, and the lane sets reduced in fixed class/lane order. The
+    /// trained state is bit-identical to fit() for every thread count and
+    /// batch size — the same determinism contract as predict_batch.
+    void fit_parallel(const data::dataset& train, thread_pool* pool = nullptr,
+                      trainer_options options = {}) {
+        UHD_REQUIRE(train.num_classes() <= classes_, "dataset has too many classes");
+        const batch_trainer<Encoder> trainer(*encoder_, classes_, mode_, options);
+        const std::vector<accumulator> delta = trainer.accumulate(train, pool);
+        for (std::size_t c = 0; c < classes_; ++c) class_acc_[c].add(delta[c]);
+        finalize();
+    }
+
     /// Incrementally add one labeled example (dynamic/online training).
     /// Only the touched class is re-binarized, so an online update costs
-    /// O(D) rather than O(classes * D).
+    /// O(D) rather than O(classes * D); the encode scratch is a reused
+    /// per-instance buffer, so steady-state updates are allocation-free.
     void partial_fit(std::span<const std::uint8_t> image, std::size_t label) {
         UHD_REQUIRE(label < classes_, "label out of range");
-        std::vector<std::int32_t> scratch(encoder_->dim());
-        encoder_->encode(image, scratch);
-        bundle_into(label, scratch);
+        partial_scratch_.resize(encoder_->dim());
+        encoder_->encode(image, partial_scratch_);
+        bundle_into(label, partial_scratch_);
         finalize_class(label);
     }
 
@@ -144,6 +171,58 @@ public:
         query_words.resize(simd::sign_words(encoded.size()));
         simd::sign_binarize(encoded.data(), encoded.size(), query_words.data());
         return class_mem_.nearest(query_words);
+    }
+
+    /// Dynamic-dimension inference from an already-encoded accumulator: the
+    /// query is sign-binarized and answered through the early-exit cascade
+    /// over the packed class memory. The cascade always answers from the
+    /// associative memory (the binarized engine), regardless of the
+    /// configured query_mode; its full-D stage is bit-identical to
+    /// binarized-mode predict_encoded().
+    [[nodiscard]] std::size_t predict_dynamic_encoded(
+        std::span<const std::int32_t> encoded, const dynamic_query_policy& policy,
+        dynamic_query_stats* stats = nullptr) const {
+        UHD_REQUIRE(encoded.size() == encoder_->dim(), "encoded size mismatch");
+        static thread_local std::vector<std::uint64_t> query_words;
+        query_words.resize(simd::sign_words(encoded.size()));
+        simd::sign_binarize(encoded.data(), encoded.size(), query_words.data());
+        return policy.answer(class_mem_, query_words, stats);
+    }
+
+    /// Dynamic-dimension inference on one image (encode + cascade).
+    [[nodiscard]] std::size_t predict_dynamic(
+        std::span<const std::uint8_t> image, const dynamic_query_policy& policy,
+        dynamic_query_stats* stats = nullptr) const {
+        static thread_local std::vector<std::int32_t> scratch;
+        scratch.resize(encoder_->dim());
+        encoder_->encode(image, scratch);
+        return predict_dynamic_encoded(scratch, policy, stats);
+    }
+
+    /// Calibrate an early-exit policy for this model's class memory on a
+    /// held-out dataset: each image is encoded and sign-binarized
+    /// (pool-parallel when given — every query fills its own slot, so the
+    /// packed calibration buffer is bit-identical for any thread count),
+    /// then the per-stage margin thresholds are picked for
+    /// `target_agreement` with the full-D answer
+    /// (dynamic_query_policy::calibrate).
+    [[nodiscard]] dynamic_query_policy calibrate_dynamic(
+        const data::dataset& holdout, double target_agreement,
+        thread_pool* pool = nullptr) const {
+        const std::size_t dim = encoder_->dim();
+        const std::size_t words = simd::sign_words(dim);
+        std::vector<std::uint64_t> packed(holdout.size() * words);
+        thread_pool::maybe_parallel_for(
+            pool, holdout.size(), [&](std::size_t begin, std::size_t end) {
+                std::vector<std::int32_t> scratch(dim);
+                for (std::size_t i = begin; i < end; ++i) {
+                    encoder_->encode(holdout.image(i), scratch);
+                    simd::sign_binarize(scratch.data(), dim,
+                                        packed.data() + i * words);
+                }
+            });
+        return dynamic_query_policy::calibrate(class_mem_, packed, holdout.size(),
+                                               target_agreement);
     }
 
     /// Predict every image of a dataset into `out` (one label slot per
@@ -218,6 +297,56 @@ public:
         return last_epoch_updates;
     }
 
+    /// Mini-batch thread-parallel retraining. Binarized query mode predicts
+    /// against the packed class memory, which within an epoch is frozen at
+    /// its epoch-start state (finalize() refreshes it only between epochs)
+    /// — so each mini-batch is encoded and predicted pool-parallel against
+    /// that snapshot, and the accumulator updates are applied in sample
+    /// order afterwards. Bit-identical to the sequential retrain() for
+    /// every thread count and batch size (tested). Integer query mode
+    /// compares against the *live* accumulators after every update, which
+    /// is inherently sequential: it falls through to retrain().
+    std::size_t retrain(const data::dataset& train, std::size_t epochs,
+                        thread_pool* pool, std::size_t batch_images = 256) {
+        if (pool == nullptr || inference_ == query_mode::integer) {
+            return retrain(train, epochs);
+        }
+        if (batch_images == 0) batch_images = 1;
+        const std::size_t dim = encoder_->dim();
+        std::vector<std::int32_t> encoded(std::min(batch_images, train.size()) * dim);
+        std::vector<std::size_t> predicted(std::min(batch_images, train.size()));
+        std::size_t last_epoch_updates = 0;
+        for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+            last_epoch_updates = 0;
+            for (std::size_t b = 0; b < train.size(); b += batch_images) {
+                const std::size_t count = std::min(batch_images, train.size() - b);
+                // Encode + predict fused, one parallel pass per mini-batch;
+                // each image writes only its own slots.
+                thread_pool::maybe_parallel_for(
+                    pool, count, [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                            const std::span<std::int32_t> slot(
+                                encoded.data() + i * dim, dim);
+                            encoder_->encode(train.image(b + i), slot);
+                            predicted[i] = predict_encoded(slot);
+                        }
+                    });
+                for (std::size_t i = 0; i < count; ++i) {
+                    const std::size_t truth = train.label(b + i);
+                    if (predicted[i] == truth) continue;
+                    const std::span<const std::int32_t> slot(
+                        encoded.data() + i * dim, dim);
+                    class_acc_[truth].add_values(slot);
+                    class_acc_[predicted[i]].subtract_values(slot);
+                    ++last_epoch_updates;
+                }
+            }
+            finalize();
+            if (last_epoch_updates == 0) break;
+        }
+        return last_epoch_updates;
+    }
+
     /// Binarized class hypervector for class `c`.
     [[nodiscard]] const hypervector& class_hypervector(std::size_t c) const {
         UHD_REQUIRE(c < classes_, "class index out of range");
@@ -263,11 +392,11 @@ private:
             return;
         }
         // Binarize the image hypervector first (hardware semantics); the
-        // kernel zeroes the tail bits, preserving the bitstream invariant.
-        bs::bitstream bits(encoder_->dim());
-        simd::sign_binarize(encoded.data(), encoded.size(),
-                            bits.mutable_words().data());
-        class_acc_[label].add(hypervector(std::move(bits)));
+        // kernel zeroes the tail bits, so the packed words satisfy the
+        // add_sign_words contract directly — no bitstream materialized.
+        sign_scratch_.resize(simd::sign_words(encoder_->dim()));
+        simd::sign_binarize(encoded.data(), encoded.size(), sign_scratch_.data());
+        class_acc_[label].add_sign_words(sign_scratch_);
     }
 
     /// Re-derive the binarized vector, packed row, and cached norm of one
@@ -295,6 +424,11 @@ private:
     std::vector<hypervector> class_hv_;
     class_memory class_mem_;
     std::vector<double> class_norm_sq_;
+    // Reused scratch buffers for partial_fit / bundle_into: online updates
+    // advertise O(D) cost, so they must not pay a heap allocation per call
+    // in either train mode.
+    std::vector<std::int32_t> partial_scratch_;
+    std::vector<std::uint64_t> sign_scratch_;
 };
 
 } // namespace uhd::hdc

@@ -1,0 +1,165 @@
+// Mini-batch thread-parallel training engine for the centroid classifier.
+//
+// Single-pass HDC training is a bundling reduction: every image's encoding
+// is added into its class accumulator. Because the bundle is an integer sum
+// (raw_sums adds the int32 encodings, binarized_images adds their +-1 sign
+// vectors), the reduction is associative and commutative — so the training
+// set can be split into contiguous per-worker chunks, each chunk bundled
+// into its own private class-accumulator set, and the lane sets reduced in
+// fixed class/lane order at the end. The result is bit-identical to the
+// sequential per-image loop for every thread count, chunking, and
+// mini-batch size: the same determinism contract as predict_batch.
+//
+// Within a chunk, images are encoded in mini-batches through the encoder's
+// batch engine when it has one (uhd_encoder::encode_batch over the
+// dataset's contiguous image buffer — the word-parallel block kernels),
+// falling back to per-image encode() for encoders that only satisfy the
+// minimal contract (dim() + encode()). Mini-batching bounds the encode
+// scratch at batch_images * dim int32 per lane regardless of set size.
+#ifndef UHD_HDC_TRAINER_HPP
+#define UHD_HDC_TRAINER_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "uhd/common/error.hpp"
+#include "uhd/common/simd.hpp"
+#include "uhd/common/thread_pool.hpp"
+#include "uhd/data/dataset.hpp"
+#include "uhd/hdc/accumulator.hpp"
+#include "uhd/hdc/hypervector.hpp"
+
+namespace uhd::hdc {
+
+/// How image encodings are bundled into class accumulators (shared with
+/// hd_classifier, which re-exports this header).
+enum class train_mode {
+    binarized_images, ///< sign() each image hypervector before bundling
+    raw_sums,         ///< bundle the integer accumulators directly
+};
+
+/// Tuning knobs for the mini-batch trainer.
+struct trainer_options {
+    /// Images encoded per mini-batch within each worker lane. Bounds the
+    /// per-lane encode scratch at batch_images * dim() int32 values; the
+    /// trained result is independent of this value.
+    std::size_t batch_images = 64;
+};
+
+/// Detected at compile time: encoders with a span batch-encode entry point
+/// (count images back-to-back) get the block-kernel batch path.
+template <typename Encoder>
+concept batch_encoder = requires(const Encoder& e, std::span<const std::uint8_t> imgs,
+                                 std::size_t n, std::span<std::int32_t> out) {
+    e.encode_batch(imgs, n, out, static_cast<thread_pool*>(nullptr));
+};
+
+/// Mini-batch parallel bundling of a dataset into per-class accumulators.
+template <typename Encoder>
+class batch_trainer {
+public:
+    /// `mode` follows hd_classifier's train_mode (binarized_images
+    /// sign-binarizes each image encoding before bundling, raw_sums adds
+    /// the integer encodings directly).
+    batch_trainer(const Encoder& encoder, std::size_t classes, train_mode mode,
+                  trainer_options options = {})
+        : encoder_(&encoder), classes_(classes), mode_(mode), options_(options) {
+        UHD_REQUIRE(classes >= 1, "trainer needs at least one class");
+        if (options_.batch_images == 0) options_.batch_images = 1;
+    }
+
+    /// Encode + bundle the whole dataset into one accumulator per class
+    /// (the *delta* of a training pass — callers add it onto their model
+    /// state). With a pool the set is split into one contiguous chunk per
+    /// worker lane; without one the single chunk runs inline. Bit-identical
+    /// for every thread count and batch size.
+    [[nodiscard]] std::vector<accumulator> accumulate(const data::dataset& train,
+                                                      thread_pool* pool = nullptr) const {
+        const std::size_t dim = encoder_->dim();
+        const std::size_t n = train.size();
+        const std::size_t lanes = pool == nullptr ? 1 : pool->size() + 1;
+        const std::size_t chunks = n == 0 ? 0 : (n < lanes ? n : lanes);
+
+        // One private class-accumulator set per chunk: no shared mutable
+        // state during the parallel phase.
+        std::vector<std::vector<accumulator>> lane_acc(
+            chunks, std::vector<accumulator>(classes_, accumulator(dim)));
+
+        // Chunk c covers [c*base + min(c, extra), ...) — the same contiguous
+        // partition for every pool size, so lane_acc[c] holds the bundle of
+        // a fixed image range regardless of which worker ran it.
+        const std::size_t base = chunks == 0 ? 0 : n / chunks;
+        const std::size_t extra = chunks == 0 ? 0 : n % chunks;
+        thread_pool::maybe_parallel_for(
+            pool, chunks, [&](std::size_t chunk_begin, std::size_t chunk_end) {
+                for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
+                    const std::size_t begin = c * base + (c < extra ? c : extra);
+                    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+                    bundle_range(train, begin, end, lane_acc[c]);
+                }
+            });
+
+        // Fixed class/lane reduction order. Integer bundling commutes, so
+        // this matches the sequential per-image order exactly; keeping the
+        // order fixed anyway makes the contract checkable by inspection.
+        std::vector<accumulator> out(classes_, accumulator(dim));
+        for (std::size_t cls = 0; cls < classes_; ++cls) {
+            for (std::size_t lane = 0; lane < chunks; ++lane) {
+                out[cls].add(lane_acc[lane][cls]);
+            }
+        }
+        return out;
+    }
+
+private:
+    /// Bundle images [begin, end) into `acc` (one accumulator per class),
+    /// encoding in mini-batches of options_.batch_images.
+    void bundle_range(const data::dataset& train, std::size_t begin, std::size_t end,
+                      std::vector<accumulator>& acc) const {
+        const std::size_t dim = encoder_->dim();
+        const std::size_t batch = options_.batch_images;
+        std::vector<std::int32_t> encoded(std::min(batch, end - begin) * dim);
+        std::vector<std::uint64_t> sign_scratch(simd::sign_words(dim));
+        for (std::size_t b = begin; b < end; b += batch) {
+            const std::size_t count = std::min(batch, end - b);
+            const std::span<std::int32_t> out(encoded.data(), count * dim);
+            if constexpr (batch_encoder<Encoder>) {
+                encoder_->encode_batch(train.images(b, count), count, out, nullptr);
+            } else {
+                for (std::size_t i = 0; i < count; ++i) {
+                    encoder_->encode(train.image(b + i), out.subspan(i * dim, dim));
+                }
+            }
+            for (std::size_t i = 0; i < count; ++i) {
+                bundle_one(acc[train.label(b + i)], out.subspan(i * dim, dim),
+                           sign_scratch);
+            }
+        }
+    }
+
+    /// Same semantics as hd_classifier's per-image bundling step: raw_sums
+    /// adds the integer encoding, binarized_images sign-binarizes it
+    /// word-parallel first (the kernel zeroes the tail bits, satisfying the
+    /// add_sign_words contract; `sign_scratch` is the per-chunk reused
+    /// packed buffer, so bundling allocates nothing per image).
+    void bundle_one(accumulator& into, std::span<const std::int32_t> encoded,
+                    std::vector<std::uint64_t>& sign_scratch) const {
+        if (mode_ == train_mode::raw_sums) {
+            into.add_values(encoded);
+            return;
+        }
+        simd::sign_binarize(encoded.data(), encoded.size(), sign_scratch.data());
+        into.add_sign_words(sign_scratch);
+    }
+
+    const Encoder* encoder_;
+    std::size_t classes_;
+    train_mode mode_;
+    trainer_options options_;
+};
+
+} // namespace uhd::hdc
+
+#endif // UHD_HDC_TRAINER_HPP

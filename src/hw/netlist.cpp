@@ -4,6 +4,19 @@
 #include "uhd/common/error.hpp"
 
 namespace uhd::hw {
+namespace {
+
+// Built with append rather than operator+: GCC 12 miscompiles the warning
+// analysis of the inlined operator+(const char*, std::string&&) chain and
+// emits a bogus -Werror=restrict from libstdc++'s char_traits (PR105651),
+// which would fail clean -Werror builds on stock GCC 12.
+std::string indexed_name(char prefix, std::size_t index) {
+    std::string name(1, prefix);
+    name += std::to_string(index);
+    return name;
+}
+
+} // namespace
 
 net_id netlist::add_input(std::string name) {
     UHD_REQUIRE(gates_.empty(), "add all inputs before the first gate");
@@ -104,10 +117,10 @@ void netlist::reset_stats() noexcept {
 unary_comparator_netlist::unary_comparator_netlist(std::size_t stream_bits) {
     UHD_REQUIRE(stream_bits >= 2, "comparator needs at least 2 stream bits");
     for (std::size_t i = 0; i < stream_bits; ++i) {
-        data_inputs.push_back(circuit.add_input("a" + std::to_string(i)));
+        data_inputs.push_back(circuit.add_input(indexed_name('a', i)));
     }
     for (std::size_t i = 0; i < stream_bits; ++i) {
-        sobol_inputs.push_back(circuit.add_input("b" + std::to_string(i)));
+        sobol_inputs.push_back(circuit.add_input(indexed_name('b', i)));
     }
     // Fig. 4: min = a AND b; check = min OR (NOT b); output = AND-reduce.
     std::vector<net_id> check_bits;
@@ -145,10 +158,10 @@ bool unary_comparator_netlist::compare(std::size_t data_value, std::size_t sobol
 binary_comparator_netlist::binary_comparator_netlist(unsigned bits) {
     UHD_REQUIRE(bits >= 1, "comparator needs at least 1 bit");
     for (unsigned i = 0; i < bits; ++i) {
-        a_inputs.push_back(circuit.add_input("a" + std::to_string(i)));
+        a_inputs.push_back(circuit.add_input(indexed_name('a', i)));
     }
     for (unsigned i = 0; i < bits; ++i) {
-        b_inputs.push_back(circuit.add_input("b" + std::to_string(i)));
+        b_inputs.push_back(circuit.add_input(indexed_name('b', i)));
     }
     // Ripple from LSB to MSB: geq_i = (a_i > b_i) OR (a_i == b_i AND geq_{i-1}).
     // a_i > b_i is a_i AND NOT b_i; start with geq_{-1} = 1 == (a >= b for
