@@ -28,6 +28,8 @@
 #include "bench_common.hpp"
 #include "uhd/bitstream/unary.hpp"
 #include "uhd/common/config.hpp"
+#include "uhd/common/cpu_features.hpp"
+#include "uhd/common/kernels.hpp"
 #include "uhd/common/simd.hpp"
 #include "uhd/common/stopwatch.hpp"
 #include "uhd/common/thread_pool.hpp"
@@ -112,8 +114,8 @@ void BM_GeqBlockKernel(benchmark::State& state) {
     for (std::size_t p = 0; p < pixels; ++p) q[p] = p % 16;
     std::vector<std::int32_t> out(dim, 0);
     for (auto _ : state) {
-        simd::geq_block_accumulate(q.data(), pixels, bank.data(), dim, dim,
-                                   out.data(), 15);
+        kernels::geq_block_accumulate(q.data(), pixels, bank.data(), dim, dim,
+                                      out.data(), 15);
         benchmark::DoNotOptimize(out.data());
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -135,21 +137,57 @@ void BM_GeqKernelSwar(benchmark::State& state) {
 }
 BENCHMARK(BM_GeqKernelSwar)->Arg(1024)->Arg(8192);
 
-#ifdef __AVX2__
-void BM_GeqKernelAvx2(benchmark::State& state) {
+/// Per-backend benchmarks of the registry tables themselves (one set per
+/// admissible backend, registered dynamically in main — see
+/// register_backend_benchmarks). `table` is the backend under test.
+void BM_BackendGeqKernel(benchmark::State& state,
+                         const kernels::kernel_table* table) {
     const auto dim = static_cast<std::size_t>(state.range(0));
     std::vector<std::uint8_t> thresholds(dim);
     for (std::size_t d = 0; d < dim; ++d) thresholds[d] = d % 16;
     std::vector<std::uint16_t> tile(dim, 0);
     for (auto _ : state) {
-        simd::geq_accumulate_avx2(7, thresholds.data(), dim, tile.data());
+        table->geq_accumulate(7, thresholds.data(), dim, tile.data(), 15);
         benchmark::DoNotOptimize(tile.data());
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(dim));
 }
-BENCHMARK(BM_GeqKernelAvx2)->Arg(1024)->Arg(8192);
-#endif
+
+void BM_BackendHammingArgmin(benchmark::State& state,
+                             const kernels::kernel_table* table) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const std::size_t classes = 10;
+    xoshiro256ss rng(5);
+    const std::size_t words = kernels::sign_words(dim);
+    std::vector<std::uint64_t> memory(classes * words);
+    std::vector<std::uint64_t> query(words);
+    for (auto& w : memory) w = rng.next();
+    for (auto& w : query) w = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            table->hamming_argmin(query.data(), memory.data(), words, classes,
+                                  nullptr));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(classes * dim));
+}
+
+/// One BM_BackendGeqKernel / BM_BackendHammingArgmin pair per backend the
+/// probe admits on this machine, so the per-ISA cost is visible in one run.
+void register_backend_benchmarks() {
+    for (const kernels::kernel_table* table : kernels::admissible_backends()) {
+        const std::string suffix = std::string("_") + table->name;
+        benchmark::RegisterBenchmark(("BM_BackendGeqKernel" + suffix).c_str(),
+                                     BM_BackendGeqKernel, table)
+            ->Arg(1024)
+            ->Arg(8192);
+        benchmark::RegisterBenchmark(("BM_BackendHammingArgmin" + suffix).c_str(),
+                                     BM_BackendHammingArgmin, table)
+            ->Arg(1024)
+            ->Arg(8192);
+    }
+}
 
 void BM_UhdEncodeScalar(benchmark::State& state) {
     const auto dim = static_cast<std::size_t>(state.range(0));
@@ -272,7 +310,7 @@ void BM_SignBinarizeReference(benchmark::State& state) {
     xoshiro256ss rng(4);
     std::vector<std::int32_t> values(dim);
     for (auto& v : values) v = static_cast<std::int32_t>(rng.next() % 2001) - 1000;
-    std::vector<std::uint64_t> words(simd::sign_words(dim));
+    std::vector<std::uint64_t> words(kernels::sign_words(dim));
     for (auto _ : state) {
         simd::sign_binarize_reference(values.data(), dim, words.data());
         benchmark::DoNotOptimize(words.data());
@@ -287,9 +325,9 @@ void BM_SignBinarize(benchmark::State& state) {
     xoshiro256ss rng(4);
     std::vector<std::int32_t> values(dim);
     for (auto& v : values) v = static_cast<std::int32_t>(rng.next() % 2001) - 1000;
-    std::vector<std::uint64_t> words(simd::sign_words(dim));
+    std::vector<std::uint64_t> words(kernels::sign_words(dim));
     for (auto _ : state) {
-        simd::sign_binarize(values.data(), dim, words.data());
+        kernels::sign_binarize(values.data(), dim, words.data());
         benchmark::DoNotOptimize(words.data());
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -301,7 +339,7 @@ void BM_HammingArgminReference(benchmark::State& state) {
     const auto dim = static_cast<std::size_t>(state.range(0));
     const std::size_t classes = 10;
     xoshiro256ss rng(5);
-    const std::size_t words = simd::sign_words(dim);
+    const std::size_t words = kernels::sign_words(dim);
     std::vector<std::uint64_t> memory(classes * words);
     std::vector<std::uint64_t> query(words);
     for (auto& w : memory) w = rng.next();
@@ -319,14 +357,14 @@ void BM_HammingArgmin(benchmark::State& state) {
     const auto dim = static_cast<std::size_t>(state.range(0));
     const std::size_t classes = 10;
     xoshiro256ss rng(5);
-    const std::size_t words = simd::sign_words(dim);
+    const std::size_t words = kernels::sign_words(dim);
     std::vector<std::uint64_t> memory(classes * words);
     std::vector<std::uint64_t> query(words);
     for (auto& w : memory) w = rng.next();
     for (auto& w : query) w = rng.next();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            simd::hamming_argmin(query.data(), memory.data(), words, classes));
+            kernels::hamming_argmin(query.data(), memory.data(), words, classes));
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(classes * dim));
@@ -339,14 +377,14 @@ void BM_HammingArgmin2Prefix(benchmark::State& state) {
     const auto dim = static_cast<std::size_t>(state.range(0));
     const std::size_t classes = 10;
     xoshiro256ss rng(5);
-    const std::size_t words = simd::sign_words(dim);
+    const std::size_t words = kernels::sign_words(dim);
     const std::size_t window = std::max<std::size_t>(1, words / 8);
     std::vector<std::uint64_t> memory(classes * words);
     std::vector<std::uint64_t> query(words);
     for (auto& w : memory) w = rng.next();
     for (auto& w : query) w = rng.next();
     for (auto _ : state) {
-        const auto r = simd::hamming_argmin2_prefix(query.data(), memory.data(),
+        const auto r = kernels::hamming_argmin2_prefix(query.data(), memory.data(),
                                                     words, window, classes);
         benchmark::DoNotOptimize(r);
     }
@@ -363,7 +401,7 @@ void BM_BlockedDotI32(benchmark::State& state) {
     for (auto& v : a) v = static_cast<std::int32_t>(rng.next() % 2001) - 1000;
     for (auto& v : b) v = static_cast<std::int32_t>(rng.next() % 2001) - 1000;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(simd::dot_i32(a.data(), b.data(), dim));
+        benchmark::DoNotOptimize(kernels::dot_i32(a.data(), b.data(), dim));
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(dim));
@@ -391,6 +429,30 @@ BENCHMARK(BM_UstFetch);
 
 // --- direct encode-throughput comparison + BENCH_encode.json --------------
 
+/// Shared "backend" block of every BENCH_*.json: which kernel backend the
+/// run selected, the UHD_BACKEND override in effect (null when unset), the
+/// probed CPU feature set, and the backends compiled into the binary — so
+/// the perf trajectory stays attributable across machines and overrides.
+void write_backend_json(std::FILE* f) {
+    std::fprintf(f, "  \"backend\": {\"selected\": \"%s\", \"override\": ",
+                 kernels::active().name);
+    const std::string_view override_value = kernels::backend_override();
+    if (override_value.empty()) {
+        std::fprintf(f, "null");
+    } else {
+        std::fprintf(f, "\"%.*s\"", static_cast<int>(override_value.size()),
+                     override_value.data());
+    }
+    std::fprintf(f, ", \"cpu\": \"%s\", \"compiled\": [",
+                 cpu().to_string().c_str());
+    const auto compiled = kernels::compiled_backends();
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+        std::fprintf(f, "\"%s\"%s", compiled[i]->name,
+                     i + 1 < compiled.size() ? ", " : "");
+    }
+    std::fprintf(f, "]},\n");
+}
+
 struct throughput_entry {
     std::string name;
     std::size_t threads;
@@ -410,13 +472,12 @@ void write_json(const std::string& path, const data::image_shape& shape,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"encode\",\n");
-    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
     std::fprintf(f,
                  "  \"workload\": {\"rows\": %zu, \"cols\": %zu, \"dim\": %zu, "
                  "\"quant_levels\": %u, \"images\": %zu},\n",
                  shape.rows, shape.cols, dim, quant_levels, images);
-    std::fprintf(f, "  \"simd\": {\"avx2\": %s},\n",
-                 simd::has_avx2() ? "true" : "false");
+    write_backend_json(f);
     std::fprintf(f, "  \"entries\": [\n");
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const auto& e = entries[i];
@@ -506,13 +567,12 @@ void write_train_json(const std::string& path, const data::image_shape& shape,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"train\",\n");
-    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
     std::fprintf(f,
                  "  \"workload\": {\"rows\": %zu, \"cols\": %zu, \"dim\": %zu, "
                  "\"quant_levels\": %u, \"images\": %zu, \"classes\": %zu},\n",
                  shape.rows, shape.cols, dim, quant_levels, images, classes);
-    std::fprintf(f, "  \"simd\": {\"avx2\": %s},\n",
-                 simd::has_avx2() ? "true" : "false");
+    write_backend_json(f);
     std::fprintf(f, "  \"determinism\": {\"parallel_matches_sequential\": %s},\n",
                  deterministic ? "true" : "false");
     std::fprintf(f, "  \"entries\": [\n");
@@ -657,13 +717,12 @@ void write_inference_json(const std::string& path, std::size_t dim,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"inference\",\n");
-    std::fprintf(f, "  \"schema_version\": 2,\n");
+    std::fprintf(f, "  \"schema_version\": 3,\n");
     std::fprintf(f,
                  "  \"workload\": {\"dim\": %zu, \"classes\": %zu, "
                  "\"queries\": %zu},\n",
                  dim, classes, queries);
-    std::fprintf(f, "  \"simd\": {\"avx2\": %s},\n",
-                 simd::has_avx2() ? "true" : "false");
+    write_backend_json(f);
     std::fprintf(f, "  \"agreement\": {\"matched\": %zu, \"queries\": %zu},\n",
                  matched, queries);
     std::fprintf(f, "  \"dynamic\": {\n");
@@ -869,6 +928,15 @@ void write_inference_json(const std::string& path, std::size_t dim,
 } // namespace
 
 int main(int argc, char** argv) {
+    // Resolve the backend before anything times: an invalid UHD_BACKEND
+    // must fail the run here, loudly, not midway through a measurement.
+    std::printf("# kernel backend: %s (override: %s, cpu: %s)\n",
+                kernels::active().name,
+                kernels::backend_override().empty()
+                    ? "none"
+                    : std::string(kernels::backend_override()).c_str(),
+                cpu().to_string().c_str());
+    register_backend_benchmarks();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();

@@ -6,12 +6,25 @@
 // Everything is deterministic: rerunning prints identical numbers.
 #include <cstdio>
 #include <filesystem>
+#include <string>
 
+#include "uhd/common/cpu_features.hpp"
+#include "uhd/common/kernels.hpp"
 #include "uhd/core/model.hpp"
 #include "uhd/data/synthetic.hpp"
 
 int main() {
     using namespace uhd;
+
+    // 0. Which kernel engine is this process actually running? The build
+    //    carries every backend; the CPU probe picks the widest admissible
+    //    one at startup (override with UHD_BACKEND=scalar|swar|avx2 — an
+    //    unknown or unsupported value fails here, loudly).
+    std::printf("kernel backend: %s (override: %s)\n", kernels::active().name,
+                kernels::backend_override().empty()
+                    ? "none"
+                    : std::string(kernels::backend_override()).c_str());
+    std::printf("cpu features:   %s\n", cpu().to_string().c_str());
 
     // 1. Data: a synthetic MNIST-like digit dataset (28x28 grayscale,
     //    10 classes). Substitute your own data::dataset to use real images.

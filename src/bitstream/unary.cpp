@@ -1,5 +1,16 @@
+// Word-level implementations of the unary (thermometer) operations.
+//
+// Thermometer codes are runs of 1s at one end of the stream, so every
+// operation here reduces to whole-word arithmetic on the packed storage:
+// encode is a word fill plus one boundary mask, min/max are word-wise
+// AND/OR, and the Fig. 4 comparator folds its three gate stages into one
+// pass of word loads with no temporary streams. Each rewrite is bit- and
+// result-identical to the original bit-at-a-time formulation
+// (tests/test_unary.cpp keeps per-bit reference implementations and checks
+// equivalence over randomized values, lengths, and alignments).
 #include "uhd/bitstream/unary.hpp"
 
+#include "uhd/common/bits.hpp"
 #include "uhd/common/error.hpp"
 
 namespace uhd::bs {
@@ -7,11 +18,17 @@ namespace uhd::bs {
 bitstream unary_encode(std::size_t value, std::size_t length, unary_alignment align) {
     UHD_REQUIRE(value <= length, "unary value exceeds stream length");
     bitstream out(length);
-    if (align == unary_alignment::ones_leading) {
-        for (std::size_t i = 0; i < value; ++i) out.set_bit(i, true);
-    } else {
-        for (std::size_t i = 0; i < value; ++i) out.set_bit(length - 1 - i, true);
-    }
+    if (value == 0) return out;
+    const auto words = out.mutable_words();
+    // The run occupies bits [first, first + value) of the stream; fill the
+    // covered words whole and trim the two boundary words with masks.
+    const std::size_t first = align == unary_alignment::ones_leading ? 0 : length - value;
+    const std::size_t last = first + value; // one past the run
+    const std::size_t first_word = first / word_bits;
+    const std::size_t last_word = (last - 1) / word_bits;
+    for (std::size_t w = first_word; w <= last_word; ++w) words[w] = ~std::uint64_t{0};
+    words[first_word] &= ~low_mask(first % word_bits);
+    if (last % word_bits != 0) words[last_word] &= low_mask(last % word_bits);
     return out;
 }
 
@@ -32,18 +49,41 @@ std::size_t unary_decode(const bitstream& stream, unary_alignment align) {
     return stream.popcount();
 }
 
-bitstream unary_min(const bitstream& a, const bitstream& b) { return a & b; }
+bitstream unary_min(const bitstream& a, const bitstream& b) {
+    UHD_REQUIRE(a.size() == b.size(), "unary min inputs must have equal length");
+    // Equally aligned thermometer codes are maximally correlated, so the
+    // word-wise AND of the packed storage is the smaller value's code.
+    bitstream out = a;
+    const auto out_words = out.mutable_words();
+    const auto b_words = b.words();
+    for (std::size_t w = 0; w < out_words.size(); ++w) out_words[w] &= b_words[w];
+    return out;
+}
 
-bitstream unary_max(const bitstream& a, const bitstream& b) { return a | b; }
+bitstream unary_max(const bitstream& a, const bitstream& b) {
+    UHD_REQUIRE(a.size() == b.size(), "unary max inputs must have equal length");
+    // Dual of unary_min: word-wise OR yields the larger value's code.
+    bitstream out = a;
+    const auto out_words = out.mutable_words();
+    const auto b_words = b.words();
+    for (std::size_t w = 0; w < out_words.size(); ++w) out_words[w] |= b_words[w];
+    return out;
+}
 
 bool unary_compare_geq(const bitstream& a, const bitstream& b) {
     UHD_REQUIRE(a.size() == b.size(), "unary comparator inputs must have equal length");
-    // Fig. 4: minimum via AND, then OR with the inverted second operand.
-    // If b is the minimum (b <= a), every bit where b is 1 survives in the
-    // AND, so (min OR NOT b) is all-1s and the final N-input AND emits 1.
-    const bitstream minimum = a & b;
-    const bitstream check = minimum | ~b;
-    return check.all();
+    // Fig. 4: minimum via AND, then OR with the inverted second operand,
+    // then an N-input AND reduction. Per word that is
+    //     all-ones((a & b) | ~b)  ==  ((b & ~a) == 0)
+    // (De Morgan), so the whole comparator is one pass of word loads — no
+    // temporary streams, same gates, same result. Tail bits beyond size()
+    // are zero in both operands, so they can never veto the reduction.
+    const auto a_words = a.words();
+    const auto b_words = b.words();
+    for (std::size_t w = 0; w < a_words.size(); ++w) {
+        if ((b_words[w] & ~a_words[w]) != 0) return false;
+    }
+    return true;
 }
 
 bitstream unary_saturating_add(const bitstream& a, const bitstream& b, unary_alignment align) {

@@ -1,0 +1,66 @@
+#include "uhd/common/cpu_features.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace uhd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+/// XGETBV(0) — only legal once cpuid reports OSXSAVE. Inline asm instead of
+/// _xgetbv() so the probe TU needs no -mxsave flag.
+std::uint64_t xcr0() noexcept {
+    std::uint32_t eax = 0;
+    std::uint32_t edx = 0;
+    __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0u));
+    return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+#endif
+
+} // namespace
+
+cpu_features probe_cpu_features() noexcept {
+    cpu_features f;
+#if defined(__x86_64__) || defined(__i386__)
+    f.x86 = true;
+    unsigned eax = 0;
+    unsigned ebx = 0;
+    unsigned ecx = 0;
+    unsigned edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+        f.sse2 = (edx & (1u << 26)) != 0;
+        f.popcnt = (ecx & (1u << 23)) != 0;
+        f.avx = (ecx & (1u << 28)) != 0;
+        f.osxsave = (ecx & (1u << 27)) != 0;
+    }
+    if (f.osxsave) {
+        // Bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be OS-enabled.
+        f.ymm_state = (xcr0() & 0x6u) == 0x6u;
+    }
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+        f.avx2 = (ebx & (1u << 5)) != 0;
+    }
+#endif
+    return f;
+}
+
+const cpu_features& cpu() noexcept {
+    static const cpu_features probed = probe_cpu_features();
+    return probed;
+}
+
+std::string cpu_features::to_string() const {
+    if (!x86) return "non-x86";
+    std::string out = "x86-64";
+    if (sse2) out += " sse2";
+    if (popcnt) out += " popcnt";
+    if (avx) out += " avx";
+    if (osxsave) out += " osxsave";
+    if (ymm_state) out += " ymm";
+    if (avx2) out += " avx2";
+    return out;
+}
+
+} // namespace uhd

@@ -1,0 +1,47 @@
+// Runtime CPU feature probe for the kernel dispatch layer (uhd::kernels).
+//
+// The build carries every backend the compiler can emit (the AVX2
+// translation unit is compiled with a per-file -mavx2 even in generic
+// builds); which one actually runs is decided once per process from this
+// probe. On x86 the probe is cpuid leaf 1 / leaf 7 plus XGETBV: AVX2
+// kernels are admissible only when the CPU advertises AVX2 *and* the OS
+// has enabled YMM state saving (OSXSAVE + XCR0 bits 1-2) — advertising
+// the instruction set without OS support is exactly the configuration
+// that faults at the first vzeroupper-less context switch.
+#ifndef UHD_COMMON_CPU_FEATURES_HPP
+#define UHD_COMMON_CPU_FEATURES_HPP
+
+#include <string>
+
+namespace uhd {
+
+/// Result of the one-shot runtime CPU probe.
+struct cpu_features {
+    bool x86 = false;      ///< probed on an x86/x86-64 build
+    bool sse2 = false;     ///< cpuid.1:EDX[26] (baseline on x86-64)
+    bool popcnt = false;   ///< cpuid.1:ECX[23]
+    bool avx = false;      ///< cpuid.1:ECX[28]
+    bool osxsave = false;  ///< cpuid.1:ECX[27] — OS uses XSAVE/XRSTOR
+    bool ymm_state = false;///< XGETBV(0) bits 1-2 — OS saves XMM+YMM state
+    bool avx2 = false;     ///< cpuid.7.0:EBX[5]
+
+    /// True when AVX2 kernels may run: CPU support plus OS YMM enablement.
+    [[nodiscard]] bool avx2_usable() const noexcept {
+        return avx2 && avx && osxsave && ymm_state;
+    }
+
+    /// Space-separated probe summary, e.g. "x86-64 sse2 popcnt avx osxsave
+    /// ymm avx2"; "non-x86" on other architectures.
+    [[nodiscard]] std::string to_string() const;
+};
+
+/// Fresh probe (cpuid/xgetbv on x86, all-false elsewhere). Deterministic on
+/// a given machine; exposed separately from cpu() so tests can compare.
+[[nodiscard]] cpu_features probe_cpu_features() noexcept;
+
+/// The process-wide probe result (probed once, then cached).
+[[nodiscard]] const cpu_features& cpu() noexcept;
+
+} // namespace uhd
+
+#endif // UHD_COMMON_CPU_FEATURES_HPP

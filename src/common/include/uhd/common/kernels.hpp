@@ -1,0 +1,234 @@
+// uhd::kernels — the runtime-dispatched kernel registry behind every hot
+// path of the software datapath.
+//
+// The build compiles one translation unit per backend:
+//   * scalar — the pinned byte-at-a-time oracles (kernels_scalar.cpp); the
+//     permanent reference backend every other backend is measured and
+//     tested against.
+//   * swar   — portable 64-bit word-parallel kernels (kernels_swar.cpp);
+//     admissible on any 64-bit machine, the generic-build fast default.
+//   * avx2   — 256-bit kernels (kernels_avx2.cpp, compiled with a per-file
+//     -mavx2 so generic builds still carry it); admissible only when the
+//     runtime cpu_features probe reports CPU *and* OS AVX2 support.
+//
+// One table is selected per process on first use: the widest admissible
+// backend, overridable with UHD_BACKEND=auto|scalar|swar|avx2. An override
+// naming an unknown backend, or forcing one the probe rejects, throws a
+// uhd::error with a diagnostic listing the valid choices — it never
+// silently falls back and never executes unsupported instructions.
+//
+// Every backend is bit-exact against the scalar reference for the integer
+// kernels, and runs the identical fixed-lane-order algorithm for the
+// double reductions, so results are bit-identical across backends; the
+// per-backend equivalence suites (tests/test_simd_kernels.cpp,
+// tests/test_backend_dispatch.cpp) enforce this.
+#ifndef UHD_COMMON_KERNELS_HPP
+#define UHD_COMMON_KERNELS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "uhd/common/cpu_features.hpp"
+
+namespace uhd::kernels {
+
+/// argmin + runner-up of a prefix-window Hamming scan.
+struct argmin2_result {
+    std::size_t index;       ///< nearest row (lowest index on ties)
+    std::uint64_t distance;  ///< winning distance over the window
+    std::uint64_t runner_up; ///< second-best distance (all-ones when n_rows < 2)
+};
+
+/// Number of 64-bit words needed for `n` packed sign bits.
+[[nodiscard]] constexpr std::size_t sign_words(std::size_t n) noexcept {
+    return (n + 63) / 64;
+}
+
+/// One backend: a name, its admissibility predicate, and the full hot-path
+/// kernel set as plain function pointers. Tables are immutable process-wide
+/// constants defined by the per-ISA translation units.
+struct kernel_table {
+    /// Backend name as accepted by UHD_BACKEND ("scalar", "swar", "avx2").
+    const char* name;
+
+    /// True when this backend may run on the probed CPU.
+    bool (*supported)(const cpu_features& features);
+
+    /// geq16[d] += (q >= thresholds[d]) for d in [0, dim). `max_value`
+    /// upper-bounds q and every threshold (backends whose wide path has a
+    /// value precondition fall back internally when it is exceeded).
+    void (*geq_accumulate)(std::uint8_t q, const std::uint8_t* thresholds,
+                           std::size_t dim, std::uint16_t* geq16,
+                           std::uint8_t max_value);
+
+    /// out[d] += sum_{p<npix} (q[p] >= bank[p*stride + d]) — the whole
+    /// encode inner double-loop (same `max_value` contract).
+    void (*geq_block_accumulate)(const std::uint8_t* q, std::size_t npix,
+                                 const std::uint8_t* bank, std::size_t stride,
+                                 std::size_t dim, std::int32_t* out,
+                                 std::uint8_t max_value);
+
+    /// Pack the sign bits of an int32 span (bit 1 = v[d] < 0) into
+    /// ceil(n/64) words, zeroing the tail bits beyond n.
+    void (*sign_binarize)(const std::int32_t* v, std::size_t n,
+                          std::uint64_t* words);
+
+    /// popcount(a XOR b) over n packed words (Hamming distance).
+    std::uint64_t (*hamming_distance_words)(const std::uint64_t* a,
+                                            const std::uint64_t* b, std::size_t n);
+
+    /// Nearest row of a row-major packed memory (first-wins on ties).
+    std::size_t (*hamming_argmin)(const std::uint64_t* query,
+                                  const std::uint64_t* rows, std::size_t words,
+                                  std::size_t n_rows,
+                                  std::uint64_t* best_distance_out);
+
+    /// argmin + runner-up over the first `prefix_words` of each row.
+    argmin2_result (*hamming_argmin2_prefix)(const std::uint64_t* query,
+                                             const std::uint64_t* rows,
+                                             std::size_t row_words,
+                                             std::size_t prefix_words,
+                                             std::size_t n_rows);
+
+    /// distances[r] += popcount(query ^ row_r) over words [from_word,
+    /// to_word) — the incremental window of the early-exit cascade.
+    void (*hamming_extend_words)(const std::uint64_t* query,
+                                 const std::uint64_t* rows, std::size_t row_words,
+                                 std::size_t from_word, std::size_t to_word,
+                                 std::size_t n_rows, std::uint64_t* distances);
+
+    /// Sum of squares of an int32 span (fixed 4-lane double accumulation).
+    double (*sum_squares_i32)(const std::int32_t* v, std::size_t n);
+
+    /// Dot product of two int32 spans (fixed 4-lane double accumulation).
+    double (*dot_i32)(const std::int32_t* a, const std::int32_t* b, std::size_t n);
+
+    /// Sum of v[i] over the set bits of a packed mask covering n values.
+    std::int64_t (*masked_sum_i32)(const std::uint64_t* mask, const std::int32_t* v,
+                                   std::size_t n);
+};
+
+/// Every backend compiled into this binary, widest-last (scalar, swar, and
+/// avx2 when the toolchain could build it).
+[[nodiscard]] std::span<const kernel_table* const> compiled_backends() noexcept;
+
+/// Compiled-in backend by name; nullptr when unknown.
+[[nodiscard]] const kernel_table* find_backend(std::string_view name) noexcept;
+
+/// The compiled backends the cpu() probe admits on this machine, in
+/// registry (widest-last) order — always at least scalar and swar. The
+/// one source of truth for "which backends may run here": the per-backend
+/// test and bench sweeps iterate over this.
+[[nodiscard]] std::span<const kernel_table* const> admissible_backends();
+
+/// Resolve a backend request against a probe. "auto" (or empty) picks the
+/// widest admissible compiled backend; a concrete name must be both
+/// compiled in and admissible. Throws uhd::error with a diagnostic listing
+/// the valid names otherwise.
+[[nodiscard]] const kernel_table& select_backend(std::string_view request,
+                                                 const cpu_features& features);
+
+/// The process-wide active backend: selected on first call from the
+/// UHD_BACKEND environment override (default "auto") and the cpu()
+/// probe, then cached. Throws on an invalid override — a typo'd or
+/// unsupported UHD_BACKEND fails the first kernel call loudly instead of
+/// silently computing on the wrong engine.
+[[nodiscard]] const kernel_table& active();
+
+/// Re-select the active backend (tests / bench harnesses that sweep
+/// backends in-process). Same validation as select_backend.
+void force_backend(std::string_view request);
+
+/// The UHD_BACKEND override in effect ("" when unset).
+[[nodiscard]] std::string_view backend_override() noexcept;
+
+// --- dispatched entry points ----------------------------------------------
+//
+// Thin wrappers over active() so call sites read like plain functions; the
+// cost per call is one atomic load plus an indirect call, amortized over
+// whole-image / whole-row kernel bodies.
+
+inline void geq_accumulate(std::uint8_t q, const std::uint8_t* thresholds,
+                           std::size_t dim, std::uint16_t* geq16,
+                           std::uint8_t max_value) {
+    active().geq_accumulate(q, thresholds, dim, geq16, max_value);
+}
+
+inline void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
+                                 const std::uint8_t* bank, std::size_t stride,
+                                 std::size_t dim, std::int32_t* out,
+                                 std::uint8_t max_value) {
+    active().geq_block_accumulate(q, npix, bank, stride, dim, out, max_value);
+}
+
+inline void sign_binarize(const std::int32_t* v, std::size_t n,
+                          std::uint64_t* words) {
+    active().sign_binarize(v, n, words);
+}
+
+[[nodiscard]] inline std::uint64_t hamming_distance_words(const std::uint64_t* a,
+                                                          const std::uint64_t* b,
+                                                          std::size_t n) {
+    return active().hamming_distance_words(a, b, n);
+}
+
+[[nodiscard]] inline std::size_t hamming_argmin(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t words,
+    std::size_t n_rows, std::uint64_t* best_distance_out = nullptr) {
+    return active().hamming_argmin(query, rows, words, n_rows, best_distance_out);
+}
+
+[[nodiscard]] inline argmin2_result hamming_argmin2_prefix(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t row_words,
+    std::size_t prefix_words, std::size_t n_rows) {
+    return active().hamming_argmin2_prefix(query, rows, row_words, prefix_words,
+                                           n_rows);
+}
+
+inline void hamming_extend_words(const std::uint64_t* query,
+                                 const std::uint64_t* rows, std::size_t row_words,
+                                 std::size_t from_word, std::size_t to_word,
+                                 std::size_t n_rows, std::uint64_t* distances) {
+    active().hamming_extend_words(query, rows, row_words, from_word, to_word,
+                                  n_rows, distances);
+}
+
+[[nodiscard]] inline double sum_squares_i32(const std::int32_t* v, std::size_t n) {
+    return active().sum_squares_i32(v, n);
+}
+
+[[nodiscard]] inline double dot_i32(const std::int32_t* a, const std::int32_t* b,
+                                    std::size_t n) {
+    return active().dot_i32(a, b, n);
+}
+
+[[nodiscard]] inline std::int64_t masked_sum_i32(const std::uint64_t* mask,
+                                                 const std::int32_t* v,
+                                                 std::size_t n) {
+    return active().masked_sum_i32(mask, v, n);
+}
+
+/// argmin + runner-up over a u64 distance array (first-wins on ties; the
+/// runner-up may equal the winner when two rows tie). O(n_rows) scalar
+/// reduction — deliberately not dispatched.
+[[nodiscard]] inline argmin2_result argmin2_u64(const std::uint64_t* distances,
+                                                std::size_t n_rows) noexcept {
+    argmin2_result r{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
+    for (std::size_t i = 0; i < n_rows; ++i) {
+        const std::uint64_t d = distances[i];
+        if (d < r.distance) {
+            r.runner_up = r.distance;
+            r.distance = d;
+            r.index = i;
+        } else if (d < r.runner_up) {
+            r.runner_up = d;
+        }
+    }
+    return r;
+}
+
+} // namespace uhd::kernels
+
+#endif // UHD_COMMON_KERNELS_HPP

@@ -1,30 +1,28 @@
-// Word-parallel kernels for the two inner loops of the uHD software
-// datapath (the hot paths behind Table I's runtime rows):
+// Portable kernel bodies and pinned scalar oracles for the uhd::kernels
+// backend registry (uhd/common/kernels.hpp — the runtime dispatch layer
+// every hot path routes through).
 //
-//  1. threshold compare-accumulate — geq16[d] += (q >= thresholds[d]) for a
-//     whole row of quantized Sobol thresholds. Three implementations:
-//       * scalar      — the byte-at-a-time correctness oracle
-//       * SWAR/u64    — 8 thresholds per step on any 64-bit machine
-//                       (requires all operands <= 127, which holds for
-//                       every practical quantization: xi <= 128)
-//       * AVX2        — 32 thresholds per step via unsigned max+compare,
-//                       compiled only under __AVX2__
-//     Counts accumulate in uint16_t tiles; callers flush the tile into the
-//     int32 bundle accumulator with add_u16_to_i32() before a tile can
-//     overflow (i.e. at least once every 65535 pixels).
+// This header carries only code that is legal on any build target:
 //
-//  2. packed popcount/dot reductions over the 64-bit words of bit-packed
-//     hypervectors — whole-word popcounts and the sign-masked sum that
-//     turns a packed bipolar query into an integer dot product.
+//  1. the pinned byte-at-a-time *references* (UHD_SCALAR_REFERENCE): the
+//     oracles the word-parallel backends are tested and benchmarked
+//     against, kept genuinely scalar even under -O3 auto-vectorization;
+//  2. the portable scalar helpers (vector-width tails, tile flushes);
+//  3. the SWAR/u64 kernels — 64-bit word-parallel implementations with no
+//     ISA requirement beyond a 64-bit integer unit;
+//  4. word-at-a-time popcount reductions and the packed-row scan loops
+//     built on them.
 //
-//  3. the inference engine's kernels — sign-binarize (int32 accumulator
-//     span -> packed 64-bit sign words), Hamming-argmin over a row-major
-//     packed class memory (XOR + popcount per word, reduced in one pass),
-//     and blocked int32 dot products for the integer-cosine query mode.
+// ISA-specific kernel bodies live in per-backend translation units
+// (src/common/kernels_scalar.cpp, kernels_swar.cpp, kernels_avx2.cpp); the
+// AVX2 unit is self-contained and compiled with a per-file -mavx2, so this
+// header must never grow an #ifdef __AVX2__ block again — that would
+// reintroduce the compile-time dispatch (and the ODR hazard) the registry
+// exists to remove.
 //
-// All kernels are deterministic and bit-exact against their scalar
-// references; tests/test_simd_kernels.cpp enforces this over randomized
-// inputs for every implementation the build enables.
+// Call sites use uhd::kernels; including this header directly is for
+// backend TUs, tests, and benchmarks that need a *specific* implementation
+// rather than the dispatched one.
 #ifndef UHD_COMMON_SIMD_HPP
 #define UHD_COMMON_SIMD_HPP
 
@@ -34,9 +32,7 @@
 #include <cstdint>
 #include <vector>
 
-#ifdef __AVX2__
-#include <immintrin.h>
-#endif
+#include "uhd/common/kernels.hpp"
 
 // Marker for reference kernels that must stay byte-at-a-time scalar code:
 // they are the oracle the word-parallel kernels are measured against, so
@@ -55,6 +51,10 @@
 #endif
 
 namespace uhd::simd {
+
+using kernels::argmin2_result;
+using kernels::argmin2_u64;
+using kernels::sign_words;
 
 /// Every byte of the word set to `b`.
 [[nodiscard]] constexpr std::uint64_t splat8(std::uint8_t b) noexcept {
@@ -133,56 +133,6 @@ inline void geq_accumulate_swar(std::uint8_t q, const std::uint8_t* thresholds,
     geq_accumulate_scalar(q, thresholds + d, dim - d, geq16 + d);
 }
 
-#ifdef __AVX2__
-/// AVX2 kernel: 32 thresholds per step, any byte values. The unsigned
-/// comparison is max_epu8(q, x) == q; the 0xFF/0x00 byte mask sign-extends
-/// to -1/0 in u16 lanes, so subtracting it adds the comparison result.
-inline void geq_accumulate_avx2(std::uint8_t q, const std::uint8_t* thresholds,
-                                std::size_t dim, std::uint16_t* geq16) noexcept {
-    const __m256i vq = _mm256_set1_epi8(static_cast<char>(q));
-    std::size_t d = 0;
-    for (; d + 32 <= dim; d += 32) {
-        const __m256i row =
-            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(thresholds + d));
-        const __m256i mask = _mm256_cmpeq_epi8(_mm256_max_epu8(vq, row), vq);
-        const __m256i lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(mask));
-        const __m256i hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(mask, 1));
-        __m256i* acc = reinterpret_cast<__m256i*>(geq16 + d);
-        _mm256_storeu_si256(acc, _mm256_sub_epi16(_mm256_loadu_si256(acc), lo));
-        __m256i* acc2 = reinterpret_cast<__m256i*>(geq16 + d + 16);
-        _mm256_storeu_si256(acc2, _mm256_sub_epi16(_mm256_loadu_si256(acc2), hi));
-    }
-    geq_accumulate_scalar(q, thresholds + d, dim - d, geq16 + d);
-}
-#endif
-
-/// True when the build carries the AVX2 kernel bodies.
-[[nodiscard]] constexpr bool has_avx2() noexcept {
-#ifdef __AVX2__
-    return true;
-#else
-    return false;
-#endif
-}
-
-/// Best available compare-accumulate kernel. `max_value` is an upper bound
-/// on q and on every threshold (the encoder passes quant_levels - 1); it
-/// selects whether the SWAR kernel is admissible on non-AVX2 builds.
-inline void geq_accumulate(std::uint8_t q, const std::uint8_t* thresholds,
-                           std::size_t dim, std::uint16_t* geq16,
-                           std::uint8_t max_value) noexcept {
-#ifdef __AVX2__
-    (void)max_value;
-    geq_accumulate_avx2(q, thresholds, dim, geq16);
-#else
-    if (max_value <= swar_max_value) {
-        geq_accumulate_swar(q, thresholds, dim, geq16);
-    } else {
-        geq_accumulate_scalar(q, thresholds, dim, geq16);
-    }
-#endif
-}
-
 /// Flush a u16 tile into the int32 accumulator: out[d] += geq16[d].
 inline void add_u16_to_i32(const std::uint16_t* geq16, std::size_t dim,
                            std::int32_t* out) noexcept {
@@ -246,76 +196,6 @@ inline void geq_block_accumulate_swar(const std::uint8_t* q, std::size_t npix,
     }
 }
 
-#ifdef __AVX2__
-/// AVX2 block kernel: 128-dimension tiles held in four ymm registers of u8
-/// counters. Per pixel and 32 dimensions the loop is one load, an unsigned
-/// max+compare, and a byte subtract (the 0xFF mask adds 1) — no
-/// accumulator memory traffic until the every-255-pixel flush.
-inline void geq_block_accumulate_avx2(const std::uint8_t* q, std::size_t npix,
-                                      const std::uint8_t* bank, std::size_t stride,
-                                      std::size_t dim, std::int32_t* out) {
-    constexpr std::size_t tile_dims = 128;
-    const auto flush32 = [](__m256i counters, std::int32_t* dst) {
-        alignas(32) std::uint8_t lanes[32];
-        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), counters);
-        for (int i = 0; i < 32; ++i) dst[i] += lanes[i];
-    };
-    std::size_t d = 0;
-    for (; d + tile_dims <= dim; d += tile_dims) {
-        __m256i c0 = _mm256_setzero_si256();
-        __m256i c1 = _mm256_setzero_si256();
-        __m256i c2 = _mm256_setzero_si256();
-        __m256i c3 = _mm256_setzero_si256();
-        std::size_t pixels_in_tile = 0;
-        const auto flush = [&] {
-            flush32(c0, out + d);
-            flush32(c1, out + d + 32);
-            flush32(c2, out + d + 64);
-            flush32(c3, out + d + 96);
-            c0 = c1 = c2 = c3 = _mm256_setzero_si256();
-            pixels_in_tile = 0;
-        };
-        for (std::size_t p = 0; p < npix; ++p) {
-            const __m256i vq = _mm256_set1_epi8(static_cast<char>(q[p]));
-            const std::uint8_t* row = bank + p * stride + d;
-            const auto step = [&](const std::uint8_t* src, __m256i counters) {
-                const __m256i x =
-                    _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
-                const __m256i mask = _mm256_cmpeq_epi8(_mm256_max_epu8(vq, x), vq);
-                return _mm256_sub_epi8(counters, mask);
-            };
-            c0 = step(row, c0);
-            c1 = step(row + 32, c1);
-            c2 = step(row + 64, c2);
-            c3 = step(row + 96, c3);
-            if (++pixels_in_tile == 255) flush();
-        }
-        if (pixels_in_tile != 0) flush();
-    }
-    if (d < dim) {
-        geq_block_accumulate_scalar(q, npix, bank + d, stride, dim - d, out + d);
-    }
-}
-#endif
-
-/// Best available block kernel (see geq_accumulate for the `max_value`
-/// contract).
-inline void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
-                                 const std::uint8_t* bank, std::size_t stride,
-                                 std::size_t dim, std::int32_t* out,
-                                 std::uint8_t max_value) {
-#ifdef __AVX2__
-    (void)max_value;
-    geq_block_accumulate_avx2(q, npix, bank, stride, dim, out);
-#else
-    if (max_value <= swar_max_value) {
-        geq_block_accumulate_swar(q, npix, bank, stride, dim, out);
-    } else {
-        geq_block_accumulate_scalar(q, npix, bank, stride, dim, out);
-    }
-#endif
-}
-
 // --- sign-binarize kernels ------------------------------------------------
 //
 // Pack the sign bits of an int32 accumulator span into 64-bit words under
@@ -324,11 +204,6 @@ inline void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
 // and the hardware's popcount >= TOB binarizer. The output holds
 // ceil(n / 64) words and every kernel zeroes the tail bits beyond n, so the
 // result satisfies the bitstream tail invariant as-is.
-
-/// Number of 64-bit words needed for `n` packed sign bits.
-[[nodiscard]] constexpr std::size_t sign_words(std::size_t n) noexcept {
-    return (n + 63) / 64;
-}
 
 /// True byte-at-a-time oracle for sign binarization (pinned scalar; the
 /// baseline the word-parallel kernels are tested and benchmarked against).
@@ -376,44 +251,6 @@ inline void sign_binarize_swar(const std::int32_t* v, std::size_t n,
     }
 }
 
-#ifdef __AVX2__
-/// AVX2 kernel: movemask over eight int32 lanes yields eight sign bits per
-/// load, so one output word is eight loads + shifts.
-inline void sign_binarize_avx2(const std::int32_t* v, std::size_t n,
-                               std::uint64_t* words) noexcept {
-    std::size_t d = 0;
-    std::size_t w = 0;
-    for (; d + 64 <= n; d += 64, ++w) {
-        std::uint64_t bits = 0;
-        for (std::size_t i = 0; i < 8; ++i) {
-            const __m256i x = _mm256_loadu_si256(
-                reinterpret_cast<const __m256i*>(v + d + 8 * i));
-            const auto mask = static_cast<std::uint32_t>(
-                _mm256_movemask_ps(_mm256_castsi256_ps(x)));
-            bits |= static_cast<std::uint64_t>(mask) << (8 * i);
-        }
-        words[w] = bits;
-    }
-    if (d < n) {
-        std::uint64_t bits = 0;
-        for (std::size_t i = 0; d + i < n; ++i) {
-            if (v[d + i] < 0) bits |= std::uint64_t{1} << i;
-        }
-        words[w] = bits;
-    }
-}
-#endif
-
-/// Best available sign-binarize kernel.
-inline void sign_binarize(const std::int32_t* v, std::size_t n,
-                          std::uint64_t* words) noexcept {
-#ifdef __AVX2__
-    sign_binarize_avx2(v, n, words);
-#else
-    sign_binarize_swar(v, n, words);
-#endif
-}
-
 /// Population count over `n` packed words.
 [[nodiscard]] inline std::uint64_t popcount_words(const std::uint64_t* w,
                                                   std::size_t n) noexcept {
@@ -438,46 +275,6 @@ inline void sign_binarize(const std::int32_t* v, std::size_t n,
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] ^ b[i]);
     return total;
-}
-
-#ifdef __AVX2__
-/// popcount(a XOR b) with the pshufb nibble-LUT popcount, 4 words (256
-/// bits) per step. Bit-exact with xor_popcount_words.
-[[nodiscard]] inline std::uint64_t xor_popcount_words_avx2(
-    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) noexcept {
-    const __m256i low_nibble = _mm256_set1_epi8(0x0F);
-    const __m256i lut =
-        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2,
-                         1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
-    __m256i acc = _mm256_setzero_si256();
-    std::size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-        const __m256i x = _mm256_xor_si256(
-            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
-            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
-        const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(x, low_nibble));
-        const __m256i hi = _mm256_shuffle_epi8(
-            lut, _mm256_and_si256(_mm256_srli_epi32(x, 4), low_nibble));
-        // Per-byte counts <= 16; sad_epu8 folds them into four u64 lanes.
-        acc = _mm256_add_epi64(
-            acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256()));
-    }
-    alignas(32) std::uint64_t lanes[4];
-    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
-    std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
-    for (; i < n; ++i) total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
-    return total;
-}
-#endif
-
-/// Best available XOR-popcount reduction (Hamming distance of packed rows).
-[[nodiscard]] inline std::uint64_t hamming_distance_words(
-    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) noexcept {
-#ifdef __AVX2__
-    return xor_popcount_words_avx2(a, b, n);
-#else
-    return xor_popcount_words(a, b, n);
-#endif
 }
 
 // --- Hamming-argmin over a packed associative memory ----------------------
@@ -511,16 +308,16 @@ UHD_SCALAR_REFERENCE inline std::size_t hamming_argmin_reference(
     return best;
 }
 
-/// Best available Hamming-argmin: one pass over the row-major memory, each
-/// row reduced with the widest XOR+popcount kernel the build carries.
-[[nodiscard]] inline std::size_t hamming_argmin(
+/// Portable word-parallel Hamming-argmin: one pass over the row-major
+/// memory, each row reduced with xor_popcount_words.
+[[nodiscard]] inline std::size_t hamming_argmin_words(
     const std::uint64_t* query, const std::uint64_t* rows, std::size_t words,
     std::size_t n_rows, std::uint64_t* best_distance_out = nullptr) noexcept {
     std::size_t best = 0;
     std::uint64_t best_distance = ~std::uint64_t{0};
     for (std::size_t r = 0; r < n_rows; ++r) {
         const std::uint64_t distance =
-            hamming_distance_words(query, rows + r * words, words);
+            xor_popcount_words(query, rows + r * words, words);
         if (distance < best_distance) {
             best_distance = distance;
             best = r;
@@ -532,38 +329,13 @@ UHD_SCALAR_REFERENCE inline std::size_t hamming_argmin_reference(
 
 // --- prefix-window Hamming kernels (dynamic-dimension queries) ------------
 //
-// Same row-major packed memory as hamming_argmin, but only the first
+// Same row-major packed memory as the argmin scan, but only the first
 // `prefix_words` of each `row_words`-word row are reduced — the kernel
 // behind dimension-truncated associative search (answer a query from a
 // D/8, D/4, ... prefix of every class row and escalate only when the
 // top-1/top-2 margin is too small). Ties keep the first-wins rule, so a
-// full-window call (prefix_words == row_words) is bit-identical to
-// hamming_argmin.
-
-/// argmin + runner-up of a prefix-window Hamming scan.
-struct argmin2_result {
-    std::size_t index;       ///< nearest row (lowest index on ties)
-    std::uint64_t distance;  ///< winning distance over the window
-    std::uint64_t runner_up; ///< second-best distance (all-ones when n_rows < 2)
-};
-
-/// argmin + runner-up over a u64 distance array (first-wins on ties; the
-/// runner-up may equal the winner when two rows tie).
-[[nodiscard]] inline argmin2_result argmin2_u64(const std::uint64_t* distances,
-                                                std::size_t n_rows) noexcept {
-    argmin2_result r{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
-    for (std::size_t i = 0; i < n_rows; ++i) {
-        const std::uint64_t d = distances[i];
-        if (d < r.distance) {
-            r.runner_up = r.distance;
-            r.distance = d;
-            r.index = i;
-        } else if (d < r.runner_up) {
-            r.runner_up = d;
-        }
-    }
-    return r;
-}
+// full-window call (prefix_words == row_words) is bit-identical to the
+// full argmin.
 
 /// Pinned scalar oracle for the prefix-window argmin + runner-up scan.
 UHD_SCALAR_REFERENCE inline argmin2_result hamming_argmin2_prefix_reference(
@@ -588,16 +360,14 @@ UHD_SCALAR_REFERENCE inline argmin2_result hamming_argmin2_prefix_reference(
     return r;
 }
 
-/// Best available prefix-window argmin + runner-up: each row's first
-/// `prefix_words` words reduced with the widest XOR+popcount kernel the
-/// build carries. Bit-identical to the reference (tests enforce it).
-[[nodiscard]] inline argmin2_result hamming_argmin2_prefix(
+/// Portable word-parallel prefix-window argmin + runner-up.
+[[nodiscard]] inline argmin2_result hamming_argmin2_prefix_words(
     const std::uint64_t* query, const std::uint64_t* rows, std::size_t row_words,
     std::size_t prefix_words, std::size_t n_rows) noexcept {
     argmin2_result r{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
     for (std::size_t row = 0; row < n_rows; ++row) {
         const std::uint64_t distance =
-            hamming_distance_words(query, rows + row * row_words, prefix_words);
+            xor_popcount_words(query, rows + row * row_words, prefix_words);
         if (distance < r.distance) {
             r.runner_up = r.distance;
             r.distance = distance;
@@ -609,18 +379,34 @@ UHD_SCALAR_REFERENCE inline argmin2_result hamming_argmin2_prefix_reference(
     return r;
 }
 
+/// Pinned scalar oracle for the incremental window extension.
+UHD_SCALAR_REFERENCE inline void hamming_extend_words_reference(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t row_words,
+    std::size_t from_word, std::size_t to_word, std::size_t n_rows,
+    std::uint64_t* distances) noexcept {
+    for (std::size_t row = 0; row < n_rows; ++row) {
+        std::uint64_t distance = 0;
+        UHD_NOVECTOR_LOOP
+        for (std::size_t w = from_word; w < to_word; ++w) {
+            distance += static_cast<std::uint64_t>(
+                std::popcount(query[w] ^ rows[row * row_words + w]));
+        }
+        distances[row] += distance;
+    }
+}
+
 /// Extend running per-row distances by the window [from_word, to_word):
 /// distances[r] += popcount(query ^ row_r) over those words. The early-exit
 /// cascade grows each stage's window incrementally with this, so the total
 /// words scanned per query is n_rows * final_window (never re-scanned), and
 /// the accumulated distances are bit-identical to a fresh prefix scan.
-inline void hamming_extend_words(const std::uint64_t* query, const std::uint64_t* rows,
-                                 std::size_t row_words, std::size_t from_word,
-                                 std::size_t to_word, std::size_t n_rows,
-                                 std::uint64_t* distances) noexcept {
+inline void hamming_extend_words_portable(
+    const std::uint64_t* query, const std::uint64_t* rows, std::size_t row_words,
+    std::size_t from_word, std::size_t to_word, std::size_t n_rows,
+    std::uint64_t* distances) noexcept {
     const std::size_t span = to_word - from_word;
     for (std::size_t row = 0; row < n_rows; ++row) {
-        distances[row] += hamming_distance_words(
+        distances[row] += xor_popcount_words(
             query + from_word, rows + row * row_words + from_word, span);
     }
 }
@@ -632,7 +418,9 @@ inline void hamming_extend_words(const std::uint64_t* query, const std::uint64_t
 // additions round. Four lanes break the serial dependence so the compiler
 // can pipeline/vectorize the conversion+add, and the lane split is fixed,
 // so results are deterministic (though not bit-identical to a strictly
-// serial double accumulation).
+// serial double accumulation). Every backend runs this exact algorithm —
+// the fixed lane order makes the result bit-identical across backends even
+// when a wider TU vectorizes the lane arithmetic.
 
 /// Sum of squares of an int32 span, in double.
 [[nodiscard]] inline double sum_squares_i32(const std::int32_t* v,

@@ -1,0 +1,304 @@
+// The AVX2 backend. This translation unit is compiled with a per-file
+// -mavx2 (see src/CMakeLists.txt) so a generic build — no -march=native,
+// no global -mavx2 — still carries these kernels; whether they run is
+// decided by the runtime cpu_features probe (CPU AVX2 + OS YMM state).
+//
+// The TU is deliberately hermetic: every helper is a TU-local static in an
+// anonymous namespace, and it does not include uhd/common/simd.hpp. A
+// header-inline function odr-used here would be emitted under -mavx2 as a
+// COMDAT candidate, and the linker is free to pick that copy for the whole
+// program — which would execute AVX2 code on machines the probe rejected.
+// Tail loops and the shared 4-lane double-accumulation algorithm are
+// therefore (re)stated locally; the dot/sum kernels run the *identical*
+// fixed-lane-order algorithm as the portable bodies, so their results are
+// bit-identical across backends (IEEE semantics are preserved — -mavx2
+// does not license FP reassociation).
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "kernels_detail.hpp"
+
+namespace uhd::kernels::detail {
+
+namespace {
+
+bool supported(const cpu_features& features) { return features.avx2_usable(); }
+
+// --- scalar tails (TU-local copies) ---------------------------------------
+
+void geq_tail(std::uint8_t q, const std::uint8_t* thresholds, std::size_t dim,
+              std::uint16_t* geq16) {
+    for (std::size_t d = 0; d < dim; ++d) {
+        geq16[d] = static_cast<std::uint16_t>(geq16[d] + (q >= thresholds[d]));
+    }
+}
+
+// --- threshold compare-accumulate -----------------------------------------
+
+/// 32 thresholds per step, any byte values. The unsigned comparison is
+/// max_epu8(q, x) == q; the 0xFF/0x00 byte mask sign-extends to -1/0 in u16
+/// lanes, so subtracting it adds the comparison result.
+void geq_accumulate(std::uint8_t q, const std::uint8_t* thresholds, std::size_t dim,
+                    std::uint16_t* geq16, std::uint8_t /*max_value*/) {
+    const __m256i vq = _mm256_set1_epi8(static_cast<char>(q));
+    std::size_t d = 0;
+    for (; d + 32 <= dim; d += 32) {
+        const __m256i row =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(thresholds + d));
+        const __m256i mask = _mm256_cmpeq_epi8(_mm256_max_epu8(vq, row), vq);
+        const __m256i lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(mask));
+        const __m256i hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(mask, 1));
+        __m256i* acc = reinterpret_cast<__m256i*>(geq16 + d);
+        _mm256_storeu_si256(acc, _mm256_sub_epi16(_mm256_loadu_si256(acc), lo));
+        __m256i* acc2 = reinterpret_cast<__m256i*>(geq16 + d + 16);
+        _mm256_storeu_si256(acc2, _mm256_sub_epi16(_mm256_loadu_si256(acc2), hi));
+    }
+    geq_tail(q, thresholds + d, dim - d, geq16 + d);
+}
+
+/// Block kernel: 128-dimension tiles held in four ymm registers of u8
+/// counters. Per pixel and 32 dimensions the loop is one load, an unsigned
+/// max+compare, and a byte subtract (the 0xFF mask adds 1) — no
+/// accumulator memory traffic until the every-255-pixel flush. Dimension
+/// tails fall back to the u16 row kernel above, flushed every 65535 pixels.
+void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
+                          const std::uint8_t* bank, std::size_t stride,
+                          std::size_t dim, std::int32_t* out,
+                          std::uint8_t max_value) {
+    constexpr std::size_t tile_dims = 128;
+    const auto flush32 = [](__m256i counters, std::int32_t* dst) {
+        alignas(32) std::uint8_t lanes[32];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), counters);
+        for (int i = 0; i < 32; ++i) dst[i] += lanes[i];
+    };
+    std::size_t d = 0;
+    for (; d + tile_dims <= dim; d += tile_dims) {
+        __m256i c0 = _mm256_setzero_si256();
+        __m256i c1 = _mm256_setzero_si256();
+        __m256i c2 = _mm256_setzero_si256();
+        __m256i c3 = _mm256_setzero_si256();
+        std::size_t pixels_in_tile = 0;
+        const auto flush = [&] {
+            flush32(c0, out + d);
+            flush32(c1, out + d + 32);
+            flush32(c2, out + d + 64);
+            flush32(c3, out + d + 96);
+            c0 = c1 = c2 = c3 = _mm256_setzero_si256();
+            pixels_in_tile = 0;
+        };
+        for (std::size_t p = 0; p < npix; ++p) {
+            const __m256i vq = _mm256_set1_epi8(static_cast<char>(q[p]));
+            const std::uint8_t* row = bank + p * stride + d;
+            const auto step = [&](const std::uint8_t* src, __m256i counters) {
+                const __m256i x =
+                    _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+                const __m256i mask = _mm256_cmpeq_epi8(_mm256_max_epu8(vq, x), vq);
+                return _mm256_sub_epi8(counters, mask);
+            };
+            c0 = step(row, c0);
+            c1 = step(row + 32, c1);
+            c2 = step(row + 64, c2);
+            c3 = step(row + 96, c3);
+            if (++pixels_in_tile == 255) flush();
+        }
+        if (pixels_in_tile != 0) flush();
+    }
+    if (d < dim) {
+        // Row-kernel fallback over the remaining dimensions with u16
+        // counters, flushed before a lane can overflow.
+        const std::size_t tail_dim = dim - d;
+        std::uint16_t tile16[tile_dims]; // tail_dim < 128
+        for (std::size_t i = 0; i < tail_dim; ++i) tile16[i] = 0;
+        std::size_t pixels_in_tile = 0;
+        const auto flush16 = [&] {
+            for (std::size_t i = 0; i < tail_dim; ++i) out[d + i] += tile16[i];
+            for (std::size_t i = 0; i < tail_dim; ++i) tile16[i] = 0;
+            pixels_in_tile = 0;
+        };
+        for (std::size_t p = 0; p < npix; ++p) {
+            geq_accumulate(q[p], bank + p * stride + d, tail_dim, tile16, max_value);
+            if (++pixels_in_tile == 65535) flush16();
+        }
+        if (pixels_in_tile != 0) flush16();
+    }
+}
+
+// --- sign binarize --------------------------------------------------------
+
+/// movemask over eight int32 lanes yields eight sign bits per load, so one
+/// output word is eight loads + shifts.
+void sign_binarize(const std::int32_t* v, std::size_t n, std::uint64_t* words) {
+    std::size_t d = 0;
+    std::size_t w = 0;
+    for (; d + 64 <= n; d += 64, ++w) {
+        std::uint64_t bits = 0;
+        for (std::size_t i = 0; i < 8; ++i) {
+            const __m256i x = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(v + d + 8 * i));
+            const auto mask = static_cast<std::uint32_t>(
+                _mm256_movemask_ps(_mm256_castsi256_ps(x)));
+            bits |= static_cast<std::uint64_t>(mask) << (8 * i);
+        }
+        words[w] = bits;
+    }
+    if (d < n) {
+        std::uint64_t bits = 0;
+        for (std::size_t i = 0; d + i < n; ++i) {
+            if (v[d + i] < 0) bits |= std::uint64_t{1} << i;
+        }
+        words[w] = bits;
+    }
+}
+
+// --- XOR-popcount reductions ----------------------------------------------
+
+/// popcount(a XOR b) with the pshufb nibble-LUT popcount, 4 words (256
+/// bits) per step. Bit-exact with the portable word loop.
+std::uint64_t hamming_distance_words(const std::uint64_t* a, const std::uint64_t* b,
+                                     std::size_t n) {
+    const __m256i low_nibble = _mm256_set1_epi8(0x0F);
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2,
+                         1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i x = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+        const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(x, low_nibble));
+        const __m256i hi = _mm256_shuffle_epi8(
+            lut, _mm256_and_si256(_mm256_srli_epi32(x, 4), low_nibble));
+        // Per-byte counts <= 16; sad_epu8 folds them into four u64 lanes.
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256()));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    std::uint64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i) total += static_cast<std::uint64_t>(std::popcount(a[i] ^ b[i]));
+    return total;
+}
+
+std::size_t hamming_argmin(const std::uint64_t* query, const std::uint64_t* rows,
+                           std::size_t words, std::size_t n_rows,
+                           std::uint64_t* best_distance_out) {
+    std::size_t best = 0;
+    std::uint64_t best_distance = ~std::uint64_t{0};
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        const std::uint64_t distance =
+            hamming_distance_words(query, rows + r * words, words);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = r;
+        }
+    }
+    if (best_distance_out != nullptr) *best_distance_out = best_distance;
+    return best;
+}
+
+argmin2_result hamming_argmin2_prefix(const std::uint64_t* query,
+                                      const std::uint64_t* rows,
+                                      std::size_t row_words, std::size_t prefix_words,
+                                      std::size_t n_rows) {
+    argmin2_result r{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
+    for (std::size_t row = 0; row < n_rows; ++row) {
+        const std::uint64_t distance =
+            hamming_distance_words(query, rows + row * row_words, prefix_words);
+        if (distance < r.distance) {
+            r.runner_up = r.distance;
+            r.distance = distance;
+            r.index = row;
+        } else if (distance < r.runner_up) {
+            r.runner_up = distance;
+        }
+    }
+    return r;
+}
+
+void hamming_extend_words(const std::uint64_t* query, const std::uint64_t* rows,
+                          std::size_t row_words, std::size_t from_word,
+                          std::size_t to_word, std::size_t n_rows,
+                          std::uint64_t* distances) {
+    const std::size_t span = to_word - from_word;
+    for (std::size_t row = 0; row < n_rows; ++row) {
+        distances[row] += hamming_distance_words(
+            query + from_word, rows + row * row_words + from_word, span);
+    }
+}
+
+// --- blocked int32 dot kernels --------------------------------------------
+//
+// Identical fixed 4-lane algorithm as the portable bodies (simd.hpp): the
+// lane split pins the FP addition order, so the -mavx2 compilation may
+// vectorize the lanes but cannot change the result.
+
+double sum_squares_i32(const std::int32_t* v, std::size_t n) {
+    double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+    const std::size_t main_n = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < main_n; i += 4) {
+        for (std::size_t l = 0; l < 4; ++l) {
+            const std::int64_t x = v[i + l];
+            lanes[l] += static_cast<double>(x * x);
+        }
+    }
+    for (std::size_t i = main_n; i < n; ++i) {
+        const std::int64_t x = v[i];
+        lanes[i % 4] += static_cast<double>(x * x);
+    }
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double dot_i32(const std::int32_t* a, const std::int32_t* b, std::size_t n) {
+    double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+    const std::size_t main_n = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < main_n; i += 4) {
+        for (std::size_t l = 0; l < 4; ++l) {
+            lanes[l] += static_cast<double>(static_cast<std::int64_t>(a[i + l]) *
+                                            static_cast<std::int64_t>(b[i + l]));
+        }
+    }
+    for (std::size_t i = main_n; i < n; ++i) {
+        lanes[i % 4] += static_cast<double>(static_cast<std::int64_t>(a[i]) *
+                                            static_cast<std::int64_t>(b[i]));
+    }
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+std::int64_t masked_sum_i32(const std::uint64_t* mask, const std::int32_t* v,
+                            std::size_t n) {
+    std::int64_t total = 0;
+    const std::size_t full_words = n / 64;
+    for (std::size_t wi = 0; wi <= full_words; ++wi) {
+        const std::size_t base = wi * 64;
+        if (base >= n) break;
+        for (std::uint64_t m = mask[wi]; m != 0; m &= m - 1) {
+            total += v[base + static_cast<std::size_t>(std::countr_zero(m))];
+        }
+    }
+    return total;
+}
+
+constexpr kernel_table table{
+    "avx2",            supported,
+    geq_accumulate,    geq_block_accumulate,
+    sign_binarize,     hamming_distance_words,
+    hamming_argmin,    hamming_argmin2_prefix,
+    hamming_extend_words,
+    sum_squares_i32,   dot_i32,
+    masked_sum_i32,
+};
+
+} // namespace
+
+const kernel_table& avx2_table() noexcept { return table; }
+
+} // namespace uhd::kernels::detail
+
+#else
+#error "kernels_avx2.cpp requires -mavx2 (set per-file by src/CMakeLists.txt)"
+#endif // __AVX2__

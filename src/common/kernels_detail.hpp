@@ -1,0 +1,24 @@
+// Private declarations shared by the kernel-registry translation units
+// (kernels.cpp and the per-ISA backend TUs). Not installed: the public
+// surface is uhd/common/kernels.hpp.
+#ifndef UHD_COMMON_KERNELS_DETAIL_HPP
+#define UHD_COMMON_KERNELS_DETAIL_HPP
+
+#include "uhd/common/kernels.hpp"
+
+namespace uhd::kernels::detail {
+
+/// Pinned byte-at-a-time oracle backend (the permanent reference).
+[[nodiscard]] const kernel_table& scalar_table() noexcept;
+
+/// Portable 64-bit word-parallel backend (any 64-bit machine).
+[[nodiscard]] const kernel_table& swar_table() noexcept;
+
+#ifdef UHD_KERNELS_HAVE_AVX2
+/// 256-bit backend (TU compiled with -mavx2; runtime-probe gated).
+[[nodiscard]] const kernel_table& avx2_table() noexcept;
+#endif
+
+} // namespace uhd::kernels::detail
+
+#endif // UHD_COMMON_KERNELS_DETAIL_HPP

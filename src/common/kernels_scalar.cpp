@@ -1,0 +1,102 @@
+// The scalar backend: the pinned byte-at-a-time oracles wired into a
+// kernel_table. This is the permanent reference backend — UHD_BACKEND=scalar
+// runs the exact code every wider backend is equivalence-tested against, so
+// a cross-backend mismatch can always be bisected against it. It is
+// admissible everywhere and deliberately slow: the pinned kernels refuse
+// auto-vectorization (UHD_SCALAR_REFERENCE) to stay an honest baseline.
+#include <cstdint>
+#include <vector>
+
+#include "kernels_detail.hpp"
+#include "uhd/common/simd.hpp"
+
+namespace uhd::kernels::detail {
+
+namespace {
+
+bool supported(const cpu_features&) { return true; }
+
+void geq_accumulate(std::uint8_t q, const std::uint8_t* thresholds, std::size_t dim,
+                    std::uint16_t* geq16, std::uint8_t /*max_value*/) {
+    simd::geq_accumulate_reference(q, thresholds, dim, geq16);
+}
+
+void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
+                          const std::uint8_t* bank, std::size_t stride,
+                          std::size_t dim, std::int32_t* out,
+                          std::uint8_t /*max_value*/) {
+    // Per-pixel rows through the pinned u16 oracle, flushed before a u16
+    // lane can overflow — the same tiling contract as the wide backends.
+    std::vector<std::uint16_t> tile(dim, 0);
+    std::size_t pixels_in_tile = 0;
+    for (std::size_t p = 0; p < npix; ++p) {
+        simd::geq_accumulate_reference(q[p], bank + p * stride, dim, tile.data());
+        if (++pixels_in_tile == 65535) {
+            simd::add_u16_to_i32(tile.data(), dim, out);
+            std::fill(tile.begin(), tile.end(), std::uint16_t{0});
+            pixels_in_tile = 0;
+        }
+    }
+    if (pixels_in_tile != 0) simd::add_u16_to_i32(tile.data(), dim, out);
+}
+
+void sign_binarize(const std::int32_t* v, std::size_t n, std::uint64_t* words) {
+    simd::sign_binarize_reference(v, n, words);
+}
+
+std::uint64_t hamming_distance_words(const std::uint64_t* a, const std::uint64_t* b,
+                                     std::size_t n) {
+    return simd::xor_popcount_words(a, b, n);
+}
+
+std::size_t hamming_argmin(const std::uint64_t* query, const std::uint64_t* rows,
+                           std::size_t words, std::size_t n_rows,
+                           std::uint64_t* best_distance_out) {
+    return simd::hamming_argmin_reference(query, rows, words, n_rows,
+                                          best_distance_out);
+}
+
+argmin2_result hamming_argmin2_prefix(const std::uint64_t* query,
+                                      const std::uint64_t* rows,
+                                      std::size_t row_words, std::size_t prefix_words,
+                                      std::size_t n_rows) {
+    return simd::hamming_argmin2_prefix_reference(query, rows, row_words,
+                                                  prefix_words, n_rows);
+}
+
+void hamming_extend_words(const std::uint64_t* query, const std::uint64_t* rows,
+                          std::size_t row_words, std::size_t from_word,
+                          std::size_t to_word, std::size_t n_rows,
+                          std::uint64_t* distances) {
+    simd::hamming_extend_words_reference(query, rows, row_words, from_word, to_word,
+                                         n_rows, distances);
+}
+
+double sum_squares_i32(const std::int32_t* v, std::size_t n) {
+    return simd::sum_squares_i32(v, n);
+}
+
+double dot_i32(const std::int32_t* a, const std::int32_t* b, std::size_t n) {
+    return simd::dot_i32(a, b, n);
+}
+
+std::int64_t masked_sum_i32(const std::uint64_t* mask, const std::int32_t* v,
+                            std::size_t n) {
+    return simd::masked_sum_i32(mask, v, n);
+}
+
+constexpr kernel_table table{
+    "scalar",          supported,
+    geq_accumulate,    geq_block_accumulate,
+    sign_binarize,     hamming_distance_words,
+    hamming_argmin,    hamming_argmin2_prefix,
+    hamming_extend_words,
+    sum_squares_i32,   dot_i32,
+    masked_sum_i32,
+};
+
+} // namespace
+
+const kernel_table& scalar_table() noexcept { return table; }
+
+} // namespace uhd::kernels::detail

@@ -5,7 +5,8 @@
 
 #include "uhd/bitstream/unary.hpp"
 #include "uhd/common/error.hpp"
-#include "uhd/common/simd.hpp"
+#include "uhd/common/kernels.hpp"
+#include "uhd/common/simd.hpp" // pinned-scalar oracle kernels (encode_scalar)
 
 namespace uhd::core {
 
@@ -68,8 +69,9 @@ void uhd_encoder::encode(std::span<const std::uint8_t> image,
     UHD_REQUIRE(out.size() == config_.dim, "output accumulator size mismatch");
 
     // Word-parallel geq counts: quantize the image once, then run the
-    // whole pixel x dimension compare loop through the block kernel
-    // (register-tiled u8 counters, flushed into `out` every <= 255 pixels).
+    // whole pixel x dimension compare loop through the dispatched block
+    // kernel (the active uhd::kernels backend — scalar/SWAR/AVX2, selected
+    // at runtime from the CPU probe or the UHD_BACKEND override).
     const std::uint8_t max_value = static_cast<std::uint8_t>(
         std::min<unsigned>(config_.quant_levels - 1, 255));
     // Reused per thread: the batch engine calls encode() once per image
@@ -80,8 +82,9 @@ void uhd_encoder::encode(std::span<const std::uint8_t> image,
         quantized[p] = quantize_intensity(image[p]);
     }
     std::fill(out.begin(), out.end(), 0);
-    simd::geq_block_accumulate(quantized.data(), quantized.size(), bank_.data().data(),
-                               bank_.samples(), config_.dim, out.data(), max_value);
+    kernels::geq_block_accumulate(quantized.data(), quantized.size(),
+                                  bank_.data().data(), bank_.samples(), config_.dim,
+                                  out.data(), max_value);
     const std::int32_t tau2 = doubled_threshold(image);
     for (std::size_t d = 0; d < config_.dim; ++d) {
         out[d] = 2 * out[d] - tau2;

@@ -15,7 +15,8 @@
 //
 // Four equivalent encode paths are provided:
 //  * encode()        — word-parallel quantized comparison (production path;
-//                      SWAR/AVX2 kernels from uhd/common/simd.hpp)
+//                      runtime-dispatched uhd::kernels backend — scalar,
+//                      SWAR, or AVX2, selected by the CPU probe)
 //  * encode_scalar() — the byte-at-a-time formulation, retained as the
 //                      correctness oracle and the benchmark baseline
 //  * encode_unary()  — the unary datapath. Its monotone_fast fidelity uses

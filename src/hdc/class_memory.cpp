@@ -3,12 +3,12 @@
 #include <algorithm>
 
 #include "uhd/common/error.hpp"
-#include "uhd/common/simd.hpp"
+#include "uhd/common/kernels.hpp"
 
 namespace uhd::hdc {
 
 class_memory::class_memory(std::size_t classes, std::size_t dim)
-    : classes_(classes), dim_(dim), words_(simd::sign_words(dim)),
+    : classes_(classes), dim_(dim), words_(kernels::sign_words(dim)),
       rows_(classes * words_, 0) {
     UHD_REQUIRE(classes >= 1, "class memory needs at least one class");
     UHD_REQUIRE(dim >= 1, "class memory needs a positive dimension");
@@ -30,8 +30,8 @@ std::size_t class_memory::nearest(std::span<const std::uint64_t> query_words,
                                   std::uint64_t* distance_out) const {
     UHD_REQUIRE(classes_ >= 1, "nearest() on an empty class memory");
     UHD_REQUIRE(query_words.size() == words_, "query word count mismatch");
-    return simd::hamming_argmin(query_words.data(), rows_.data(), words_, classes_,
-                                distance_out);
+    return kernels::hamming_argmin(query_words.data(), rows_.data(), words_, classes_,
+                                   distance_out);
 }
 
 class_memory::prefix_result class_memory::nearest_prefix(
@@ -40,7 +40,7 @@ class_memory::prefix_result class_memory::nearest_prefix(
     UHD_REQUIRE(window_words >= 1 && window_words <= words_,
                 "prefix window out of range");
     UHD_REQUIRE(query_words.size() >= window_words, "query shorter than window");
-    const simd::argmin2_result r = simd::hamming_argmin2_prefix(
+    const kernels::argmin2_result r = kernels::hamming_argmin2_prefix(
         query_words.data(), rows_.data(), words_, window_words, classes_);
     // Saturating margin: a single-row memory has no runner-up, so every
     // window is maximally decisive.

@@ -4,7 +4,7 @@
 #include <utility>
 
 #include "uhd/common/error.hpp"
-#include "uhd/common/simd.hpp"
+#include "uhd/common/kernels.hpp"
 
 namespace uhd::hdc {
 
@@ -60,12 +60,12 @@ dynamic_query_policy dynamic_query_policy::calibrate(
         std::size_t scanned_to = 0;
         std::size_t full_answer = 0;
         for (std::size_t s = 0; s < policy.stages_.size(); ++s) {
-            simd::hamming_extend_words(query, mem.rows().data(), words, scanned_to,
+            kernels::hamming_extend_words(query, mem.rows().data(), words, scanned_to,
                                        policy.stages_[s].window_words,
                                        mem.classes(), distances.data());
             scanned_to = policy.stages_[s].window_words;
-            const simd::argmin2_result r =
-                simd::argmin2_u64(distances.data(), mem.classes());
+            const kernels::argmin2_result r =
+                kernels::argmin2_u64(distances.data(), mem.classes());
             if (s < early_stages) {
                 const std::uint64_t margin = r.runner_up == ~std::uint64_t{0}
                                                  ? ~std::uint64_t{0}
@@ -128,13 +128,13 @@ std::size_t dynamic_query_policy::answer(const class_memory& mem,
     std::size_t scanned_to = 0;
     for (std::size_t s = 0; s < stages_.size(); ++s) {
         const dynamic_stage& stage = stages_[s];
-        simd::hamming_extend_words(query_words.data(), mem.rows().data(),
+        kernels::hamming_extend_words(query_words.data(), mem.rows().data(),
                                    mem.words_per_class(), scanned_to,
                                    stage.window_words, mem.classes(),
                                    distances.data());
         scanned_to = stage.window_words;
-        const simd::argmin2_result r =
-            simd::argmin2_u64(distances.data(), mem.classes());
+        const kernels::argmin2_result r =
+            kernels::argmin2_u64(distances.data(), mem.classes());
         const std::uint64_t margin =
             r.runner_up == ~std::uint64_t{0} ? ~std::uint64_t{0}
                                              : r.runner_up - r.distance;

@@ -17,7 +17,7 @@
 // retrain" rows of Fig. 6(b)) is provided as an extension.
 //
 // Inference runs on the packed associative-memory engine: binarized-mode
-// queries are sign-binarized word-parallel (simd::sign_binarize) and
+// queries are sign-binarized word-parallel (kernels::sign_binarize) and
 // answered by a Hamming-argmin scan over the contiguous class_memory —
 // bit-identical to the per-class cosine argmax it replaced (cosine is
 // strictly decreasing in Hamming distance for fixed D, ties first-wins in
@@ -49,7 +49,7 @@
 #include <vector>
 
 #include "uhd/common/error.hpp"
-#include "uhd/common/simd.hpp"
+#include "uhd/common/kernels.hpp"
 #include "uhd/common/thread_pool.hpp"
 #include "uhd/data/dataset.hpp"
 #include "uhd/data/metrics.hpp"
@@ -147,14 +147,14 @@ public:
         UHD_REQUIRE(encoded.size() == encoder_->dim(), "encoded size mismatch");
         if (inference_ == query_mode::integer) {
             const double query_norm_sq =
-                simd::sum_squares_i32(encoded.data(), encoded.size());
+                kernels::sum_squares_i32(encoded.data(), encoded.size());
             std::size_t best = 0;
             double best_similarity = -2.0;
             for (std::size_t c = 0; c < classes_; ++c) {
                 double similarity = 0.0; // zero-norm convention of cosine()
                 if (query_norm_sq > 0.0 && class_norm_sq_[c] > 0.0) {
                     similarity =
-                        simd::dot_i32(encoded.data(), class_acc_[c].values().data(),
+                        kernels::dot_i32(encoded.data(), class_acc_[c].values().data(),
                                       encoded.size()) /
                         std::sqrt(query_norm_sq * class_norm_sq_[c]);
                 }
@@ -168,8 +168,8 @@ public:
         // Binarize the query word-parallel (the hardware emits sign bits,
         // Fig. 5) and answer it with the associative memory.
         static thread_local std::vector<std::uint64_t> query_words;
-        query_words.resize(simd::sign_words(encoded.size()));
-        simd::sign_binarize(encoded.data(), encoded.size(), query_words.data());
+        query_words.resize(kernels::sign_words(encoded.size()));
+        kernels::sign_binarize(encoded.data(), encoded.size(), query_words.data());
         return class_mem_.nearest(query_words);
     }
 
@@ -184,8 +184,8 @@ public:
         dynamic_query_stats* stats = nullptr) const {
         UHD_REQUIRE(encoded.size() == encoder_->dim(), "encoded size mismatch");
         static thread_local std::vector<std::uint64_t> query_words;
-        query_words.resize(simd::sign_words(encoded.size()));
-        simd::sign_binarize(encoded.data(), encoded.size(), query_words.data());
+        query_words.resize(kernels::sign_words(encoded.size()));
+        kernels::sign_binarize(encoded.data(), encoded.size(), query_words.data());
         return policy.answer(class_mem_, query_words, stats);
     }
 
@@ -210,14 +210,14 @@ public:
         const data::dataset& holdout, double target_agreement,
         thread_pool* pool = nullptr) const {
         const std::size_t dim = encoder_->dim();
-        const std::size_t words = simd::sign_words(dim);
+        const std::size_t words = kernels::sign_words(dim);
         std::vector<std::uint64_t> packed(holdout.size() * words);
         thread_pool::maybe_parallel_for(
             pool, holdout.size(), [&](std::size_t begin, std::size_t end) {
                 std::vector<std::int32_t> scratch(dim);
                 for (std::size_t i = begin; i < end; ++i) {
                     encoder_->encode(holdout.image(i), scratch);
-                    simd::sign_binarize(scratch.data(), dim,
+                    kernels::sign_binarize(scratch.data(), dim,
                                         packed.data() + i * words);
                 }
             });
@@ -394,8 +394,8 @@ private:
         // Binarize the image hypervector first (hardware semantics); the
         // kernel zeroes the tail bits, so the packed words satisfy the
         // add_sign_words contract directly — no bitstream materialized.
-        sign_scratch_.resize(simd::sign_words(encoder_->dim()));
-        simd::sign_binarize(encoded.data(), encoded.size(), sign_scratch_.data());
+        sign_scratch_.resize(kernels::sign_words(encoder_->dim()));
+        kernels::sign_binarize(encoded.data(), encoded.size(), sign_scratch_.data());
         class_acc_[label].add_sign_words(sign_scratch_);
     }
 
@@ -409,7 +409,7 @@ private:
 
     void refresh_norm(std::size_t c) {
         const auto values = class_acc_[c].values();
-        class_norm_sq_[c] = simd::sum_squares_i32(values.data(), values.size());
+        class_norm_sq_[c] = kernels::sum_squares_i32(values.data(), values.size());
     }
 
     void finalize() {

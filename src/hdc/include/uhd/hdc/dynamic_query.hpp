@@ -12,7 +12,7 @@
 // from held-out data for a target agreement rate with the full-D answer.
 //
 // Determinism: the cascade extends one running distance per class
-// incrementally (simd::hamming_extend_words), so its full-D stage is
+// incrementally (kernels::hamming_extend_words), so its full-D stage is
 // bit-identical to class_memory::nearest() — same word order, same
 // first-wins tie rule. Calibration is a deterministic function of the
 // memory and the calibration queries (no RNG, no data-dependent float

@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "uhd/common/error.hpp"
-#include "uhd/common/simd.hpp"
+#include "uhd/common/kernels.hpp"
 #include "uhd/common/thread_pool.hpp"
 #include "uhd/data/dataset.hpp"
 #include "uhd/hdc/accumulator.hpp"
@@ -121,7 +121,7 @@ private:
         const std::size_t dim = encoder_->dim();
         const std::size_t batch = options_.batch_images;
         std::vector<std::int32_t> encoded(std::min(batch, end - begin) * dim);
-        std::vector<std::uint64_t> sign_scratch(simd::sign_words(dim));
+        std::vector<std::uint64_t> sign_scratch(kernels::sign_words(dim));
         for (std::size_t b = begin; b < end; b += batch) {
             const std::size_t count = std::min(batch, end - b);
             const std::span<std::int32_t> out(encoded.data(), count * dim);
@@ -150,7 +150,7 @@ private:
             into.add_values(encoded);
             return;
         }
-        simd::sign_binarize(encoded.data(), encoded.size(), sign_scratch.data());
+        kernels::sign_binarize(encoded.data(), encoded.size(), sign_scratch.data());
         into.add_sign_words(sign_scratch);
     }
 

@@ -1,0 +1,215 @@
+// Tests for the uhd::kernels backend registry: probe sanity, auto
+// selection, the UHD_BACKEND override surface, backend forcing across the
+// whole classifier pipeline (encode -> fit -> predict -> dynamic cascade,
+// bit-identical per backend), and the failure mode — an unknown or
+// inadmissible backend request must produce a clean uhd::error diagnostic,
+// never a crash or a silent fallback.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "uhd/common/cpu_features.hpp"
+#include "uhd/common/error.hpp"
+#include "uhd/common/kernels.hpp"
+#include "uhd/core/encoder.hpp"
+#include "uhd/data/synthetic.hpp"
+#include "uhd/hdc/classifier.hpp"
+
+namespace {
+
+using namespace uhd;
+
+/// RAII reset: every test that forces a backend must leave the process on
+/// the environment-selected one, or later tests would silently run on the
+/// last forced table.
+struct backend_reset {
+    ~backend_reset() {
+        const std::string_view env = kernels::backend_override();
+        kernels::force_backend(env.empty() ? "auto" : env);
+    }
+};
+
+using kernels::admissible_backends;
+
+TEST(BackendRegistry, CompiledBackendsAlwaysIncludePortableOnes) {
+    ASSERT_GE(kernels::compiled_backends().size(), 2u);
+    ASSERT_NE(kernels::find_backend("scalar"), nullptr);
+    ASSERT_NE(kernels::find_backend("swar"), nullptr);
+    EXPECT_EQ(kernels::find_backend("scalar")->name, std::string("scalar"));
+    EXPECT_EQ(kernels::find_backend("swar")->name, std::string("swar"));
+    EXPECT_EQ(kernels::find_backend("not-a-backend"), nullptr);
+    // The portable backends are admissible on every probe, including an
+    // all-false one (non-x86).
+    const cpu_features none{};
+    EXPECT_TRUE(kernels::find_backend("scalar")->supported(none));
+    EXPECT_TRUE(kernels::find_backend("swar")->supported(none));
+}
+
+TEST(BackendRegistry, AutoPicksWidestAdmissibleBackend) {
+    const auto admissible = admissible_backends();
+    ASSERT_FALSE(admissible.empty());
+    const kernels::kernel_table& selected = kernels::select_backend("auto", cpu());
+    EXPECT_EQ(&selected, admissible.back());
+    // Empty request means auto (the unset-environment path).
+    EXPECT_EQ(&kernels::select_backend("", cpu()), &selected);
+    // On a featureless probe auto degrades to the widest portable backend,
+    // never to nothing.
+    const cpu_features none{};
+    EXPECT_EQ(&kernels::select_backend("auto", none),
+              kernels::find_backend("swar"));
+}
+
+TEST(BackendRegistry, AutoSelectsAvx2OnAvx2HardwareInGenericBuilds) {
+    // The acceptance criterion of the dispatch refactor: when the probe
+    // reports usable AVX2 and the binary carries the AVX2 TU, auto must
+    // pick it — even though this build sets no global arch flags.
+    if (!cpu().avx2_usable() || kernels::find_backend("avx2") == nullptr) {
+        GTEST_SKIP() << "AVX2 not available (probe: " << cpu().to_string() << ")";
+    }
+    EXPECT_EQ(&kernels::select_backend("auto", cpu()),
+              kernels::find_backend("avx2"));
+}
+
+TEST(BackendRegistry, UnknownBackendNameFailsLoudlyWithValidChoices) {
+    try {
+        (void)kernels::select_backend("turbo", cpu());
+        FAIL() << "select_backend accepted an unknown name";
+    } catch (const uhd::error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("turbo"), std::string::npos) << what;
+        EXPECT_NE(what.find("scalar"), std::string::npos) << what;
+        EXPECT_NE(what.find("swar"), std::string::npos) << what;
+        EXPECT_NE(what.find("auto"), std::string::npos) << what;
+    }
+    EXPECT_THROW((void)kernels::select_backend("AVX2", cpu()), uhd::error)
+        << "backend names are case-sensitive";
+    EXPECT_THROW(kernels::force_backend("neon"), uhd::error);
+}
+
+TEST(BackendRegistry, InadmissibleBackendFailsLoudlyWithProbeReport) {
+    // Force an avx2 request against a probe that rejects it (the situation
+    // on a pre-AVX2 machine or an OS without YMM state). The diagnostic
+    // must name the request and the probed features — not crash, not fall
+    // back silently.
+    if (kernels::find_backend("avx2") == nullptr) {
+        GTEST_SKIP() << "binary carries no avx2 backend";
+    }
+    cpu_features no_avx2 = cpu();
+    no_avx2.avx2 = false;
+    no_avx2.ymm_state = false;
+    try {
+        (void)kernels::select_backend("avx2", no_avx2);
+        FAIL() << "select_backend accepted an inadmissible backend";
+    } catch (const uhd::error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("avx2"), std::string::npos) << what;
+        EXPECT_NE(what.find("probed"), std::string::npos) << what;
+    }
+}
+
+TEST(BackendRegistry, ProbeIsStableAndConsistent) {
+    const cpu_features a = probe_cpu_features();
+    const cpu_features b = probe_cpu_features();
+    EXPECT_EQ(a.to_string(), b.to_string());
+    EXPECT_EQ(a.to_string(), cpu().to_string());
+    // avx2_usable implies each of its components.
+    if (a.avx2_usable()) {
+        EXPECT_TRUE(a.avx2);
+        EXPECT_TRUE(a.avx);
+        EXPECT_TRUE(a.osxsave);
+        EXPECT_TRUE(a.ymm_state);
+    }
+    EXPECT_FALSE(a.to_string().empty());
+}
+
+TEST(BackendRegistry, ForceBackendSwapsActiveTable) {
+    backend_reset reset;
+    for (const kernels::kernel_table* backend : admissible_backends()) {
+        kernels::force_backend(backend->name);
+        EXPECT_EQ(&kernels::active(), backend);
+    }
+}
+
+// --- whole-pipeline equivalence under every forced backend ----------------
+//
+// The contract the registry must uphold: the *model* — trained state,
+// predictions, dynamic-cascade answers — is a pure function of the data,
+// independent of which admissible backend computed it. Train and predict
+// once per backend and require bit-identical results across the matrix.
+
+struct pipeline_result {
+    std::vector<std::int32_t> encoded;       // one encoded image
+    std::vector<std::int32_t> class0_acc;    // trained accumulator, class 0
+    std::vector<std::size_t> predictions;    // binarized-mode batch predict
+    std::vector<std::size_t> predictions_int;// integer-mode batch predict
+    std::vector<std::size_t> dynamic;        // early-exit cascade answers
+
+    bool operator==(const pipeline_result&) const = default;
+};
+
+pipeline_result run_pipeline() {
+    const auto train = data::make_synthetic_digits(80, 21);
+    const auto test = data::make_synthetic_digits(40, 22);
+    const core::uhd_config cfg{.dim = 512};
+    const core::uhd_encoder enc(cfg, train.shape());
+
+    pipeline_result r;
+    r.encoded.resize(enc.dim());
+    enc.encode(test.image(0), r.encoded);
+
+    hdc::hd_classifier<core::uhd_encoder> clf(enc, train.num_classes(),
+                                              hdc::train_mode::binarized_images,
+                                              hdc::query_mode::binarized);
+    clf.fit(train);
+    const auto acc = clf.class_accumulator(0).values();
+    r.class0_acc.assign(acc.begin(), acc.end());
+    r.predictions = clf.predict_batch(test);
+
+    hdc::hd_classifier<core::uhd_encoder> clf_int(enc, train.num_classes(),
+                                                  hdc::train_mode::raw_sums,
+                                                  hdc::query_mode::integer);
+    clf_int.fit(train);
+    r.predictions_int = clf_int.predict_batch(test);
+
+    const hdc::dynamic_query_policy policy =
+        clf.calibrate_dynamic(train, /*target_agreement=*/0.95);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        r.dynamic.push_back(clf.predict_dynamic(test.image(i), policy));
+    }
+    return r;
+}
+
+TEST(BackendMatrix, WholePipelineBitIdenticalUnderEveryForcedBackend) {
+    backend_reset reset;
+    const auto admissible = admissible_backends();
+    ASSERT_GE(admissible.size(), 2u);
+
+    kernels::force_backend("scalar");
+    const pipeline_result oracle = run_pipeline();
+    EXPECT_FALSE(oracle.predictions.empty());
+
+    for (const kernels::kernel_table* backend : admissible) {
+        kernels::force_backend(backend->name);
+        const pipeline_result got = run_pipeline();
+        EXPECT_EQ(got, oracle) << "backend=" << backend->name;
+    }
+}
+
+TEST(BackendMatrix, ActiveBackendHonorsEnvironmentOverride) {
+    // The active() selection is driven by UHD_BACKEND; the ctest matrix
+    // registers this whole binary under each forced value. Here we verify
+    // in-process that the resolved table matches whatever the environment
+    // demands of this run.
+    const std::string_view env = kernels::backend_override();
+    const kernels::kernel_table& resolved =
+        kernels::select_backend(env.empty() ? "auto" : env, cpu());
+    EXPECT_EQ(&kernels::active(), &resolved)
+        << "UHD_BACKEND='" << env << "' active=" << kernels::active().name;
+    if (!env.empty() && env != "auto") {
+        EXPECT_EQ(std::string_view(kernels::active().name), env);
+    }
+}
+
+} // namespace

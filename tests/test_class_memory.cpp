@@ -152,8 +152,8 @@ TEST(ClassMemory, PackedArgmaxBitIdenticalToCosineArgmaxOver100Configs) {
             for (auto& v : encoded) {
                 v = static_cast<std::int32_t>(rng.next() % 201) - 100; // zeros too
             }
-            std::vector<std::uint64_t> query_words(simd::sign_words(dim));
-            simd::sign_binarize(encoded.data(), encoded.size(), query_words.data());
+            std::vector<std::uint64_t> query_words(kernels::sign_words(dim));
+            kernels::sign_binarize(encoded.data(), encoded.size(), query_words.data());
             ASSERT_EQ(mem.nearest(query_words), seed_cosine_argmax(encoded, class_hvs))
                 << "config " << config_i << ": dim=" << dim
                 << " classes=" << classes;

@@ -39,7 +39,7 @@ TEST(DynamicQuery, PrefixKernelMatchesPinnedReference) {
             const auto words = query.bits().words();
             for (std::size_t window = 1; window <= mem.words_per_class();
                  window += (window < 4 ? 1 : 3)) {
-                const auto fast = simd::hamming_argmin2_prefix(
+                const auto fast = kernels::hamming_argmin2_prefix(
                     words.data(), mem.rows().data(), mem.words_per_class(), window,
                     classes);
                 const auto ref = simd::hamming_argmin2_prefix_reference(
@@ -81,11 +81,11 @@ TEST(DynamicQuery, ExtendKernelMatchesFreshPrefixScan) {
     std::vector<std::uint64_t> running(classes, 0);
     std::size_t from = 0;
     for (const std::size_t to : {words / 8, words / 4, words / 2, words}) {
-        simd::hamming_extend_words(qwords.data(), mem.rows().data(), words, from, to,
+        kernels::hamming_extend_words(qwords.data(), mem.rows().data(), words, from, to,
                                    classes, running.data());
         from = to;
         const auto fresh = mem.nearest_prefix(qwords, to);
-        const auto incremental = simd::argmin2_u64(running.data(), classes);
+        const auto incremental = kernels::argmin2_u64(running.data(), classes);
         EXPECT_EQ(incremental.index, fresh.index);
         EXPECT_EQ(incremental.distance, fresh.distance);
         EXPECT_EQ(incremental.runner_up - incremental.distance, fresh.margin);
@@ -218,7 +218,7 @@ TEST(DynamicQuery, CalibrationHitsTargetAgreementOnCalibrationSet) {
         std::size_t agree = 0;
         for (std::size_t i = 0; i < calib.size(); ++i) {
             enc.encode(calib.image(i), encoded);
-            simd::sign_binarize(encoded.data(), encoded.size(), words.data());
+            kernels::sign_binarize(encoded.data(), encoded.size(), words.data());
             const auto r = clf.packed_class_memory().nearest_prefix(
                 words, stage.window_words);
             if (r.margin < stage.margin_threshold) continue;

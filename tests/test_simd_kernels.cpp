@@ -1,8 +1,14 @@
-// Equivalence tests for the word-parallel engine: every SIMD/SWAR kernel
-// against its scalar reference, the optimized encoder paths against the
-// scalar oracle over randomized images x configurations, batch encoding
-// against per-image encoding, and thread-count determinism of the batch
+// Equivalence tests for the word-parallel engine: every kernel of every
+// admissible backend in the uhd::kernels registry against its pinned
+// scalar reference, the optimized encoder paths against the scalar oracle
+// over randomized images x configurations, batch encoding against
+// per-image encoding, and thread-count determinism of the batch
 // classifier APIs.
+//
+// The whole suite runs under any UHD_BACKEND value (tests/CMakeLists.txt
+// registers forced-backend variants), and the per-backend loops below
+// additionally cover every admissible backend inside a single process, so
+// a backend can't dodge the oracle by not being the active one.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "uhd/common/cpu_features.hpp"
+#include "uhd/common/kernels.hpp"
 #include "uhd/common/rng.hpp"
 #include "uhd/common/simd.hpp"
 #include "uhd/common/thread_pool.hpp"
@@ -33,6 +41,11 @@ std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint8_t max_value,
     return out;
 }
 
+// All kernel-equivalence loops iterate over kernels::admissible_backends()
+// (always at least scalar and swar), so on AVX2 hardware the AVX2 table is
+// oracle-checked even when the active backend is something else.
+using kernels::admissible_backends;
+
 TEST(SimdKernels, GeqMaskSwarMatchesByteCompare) {
     xoshiro256ss rng(11);
     for (int trial = 0; trial < 2000; ++trial) {
@@ -50,7 +63,7 @@ TEST(SimdKernels, GeqMaskSwarMatchesByteCompare) {
     }
 }
 
-TEST(SimdKernels, GeqAccumulateVariantsMatchScalar) {
+TEST(SimdKernels, GeqAccumulateEveryBackendMatchesScalar) {
     xoshiro256ss rng(22);
     for (int trial = 0; trial < 200; ++trial) {
         // Odd dims exercise the tail handling of every kernel.
@@ -65,36 +78,38 @@ TEST(SimdKernels, GeqAccumulateVariantsMatchScalar) {
         simd::geq_accumulate_swar(q, thresholds.data(), dim, swar.data());
         EXPECT_EQ(scalar, swar);
 
-#ifdef __AVX2__
-        std::vector<std::uint16_t> avx(dim, 7);
-        simd::geq_accumulate_avx2(q, thresholds.data(), dim, avx.data());
-        EXPECT_EQ(scalar, avx);
-#endif
+        for (const kernels::kernel_table* backend : admissible_backends()) {
+            std::vector<std::uint16_t> got(dim, 7);
+            backend->geq_accumulate(q, thresholds.data(), dim, got.data(), max_value);
+            EXPECT_EQ(scalar, got) << "backend=" << backend->name;
+        }
 
         std::vector<std::uint16_t> dispatched(dim, 7);
-        simd::geq_accumulate(q, thresholds.data(), dim, dispatched.data(), max_value);
+        kernels::geq_accumulate(q, thresholds.data(), dim, dispatched.data(),
+                                max_value);
         EXPECT_EQ(scalar, dispatched);
     }
 }
 
-TEST(SimdKernels, GeqAccumulateFullByteRangeOnWideKernels) {
-    // Thresholds above 127 are outside the SWAR contract but must be exact
-    // on the scalar path and (when built) the AVX2 path the dispatcher
-    // falls back to / selects.
+TEST(SimdKernels, GeqAccumulateFullByteRangeOnEveryBackend) {
+    // Thresholds above 127 are outside the SWAR wide-path contract; every
+    // backend must still be exact (the swar table falls back internally).
     xoshiro256ss rng(33);
     const std::size_t dim = 97;
     const auto thresholds = random_bytes(dim, 255, rng);
     for (int qi = 0; qi < 256; qi += 17) {
         const std::uint8_t q = static_cast<std::uint8_t>(qi);
         std::vector<std::uint16_t> scalar(dim, 0);
-        std::vector<std::uint16_t> dispatched(dim, 0);
         simd::geq_accumulate_scalar(q, thresholds.data(), dim, scalar.data());
-        simd::geq_accumulate(q, thresholds.data(), dim, dispatched.data(), 255);
-        EXPECT_EQ(scalar, dispatched);
+        for (const kernels::kernel_table* backend : admissible_backends()) {
+            std::vector<std::uint16_t> got(dim, 0);
+            backend->geq_accumulate(q, thresholds.data(), dim, got.data(), 255);
+            EXPECT_EQ(scalar, got) << "backend=" << backend->name;
+        }
     }
 }
 
-TEST(SimdKernels, BlockKernelsMatchReferencePerPixelLoop) {
+TEST(SimdKernels, BlockKernelsEveryBackendMatchesReferencePerPixelLoop) {
     xoshiro256ss rng(66);
     for (int trial = 0; trial < 60; ++trial) {
         const std::size_t dim = 1 + rng.next() % 300; // exercises 128/8 tails
@@ -123,21 +138,21 @@ TEST(SimdKernels, BlockKernelsMatchReferencePerPixelLoop) {
                                         swar.data());
         EXPECT_EQ(expected, swar);
 
-#ifdef __AVX2__
-        std::vector<std::int32_t> avx(dim, 3);
-        simd::geq_block_accumulate_avx2(q.data(), npix, bank.data(), dim, dim,
-                                        avx.data());
-        EXPECT_EQ(expected, avx);
-#endif
+        for (const kernels::kernel_table* backend : admissible_backends()) {
+            std::vector<std::int32_t> got(dim, 3);
+            backend->geq_block_accumulate(q.data(), npix, bank.data(), dim, dim,
+                                          got.data(), max_value);
+            EXPECT_EQ(expected, got) << "backend=" << backend->name;
+        }
 
         std::vector<std::int32_t> dispatched(dim, 3);
-        simd::geq_block_accumulate(q.data(), npix, bank.data(), dim, dim,
-                                   dispatched.data(), max_value);
+        kernels::geq_block_accumulate(q.data(), npix, bank.data(), dim, dim,
+                                      dispatched.data(), max_value);
         EXPECT_EQ(expected, dispatched);
     }
 }
 
-TEST(SimdKernels, BlockKernelHonorsRowStride) {
+TEST(SimdKernels, BlockKernelHonorsRowStrideOnEveryBackend) {
     // stride > dim: the kernel must only read the first `dim` bytes of
     // each row.
     xoshiro256ss rng(77);
@@ -153,10 +168,12 @@ TEST(SimdKernels, BlockKernelHonorsRowStride) {
             expected[d] += q[p] >= bank[p * stride + d] ? 1 : 0;
         }
     }
-    std::vector<std::int32_t> got(dim, 0);
-    simd::geq_block_accumulate(q.data(), npix, bank.data(), stride, dim, got.data(),
-                               127);
-    EXPECT_EQ(expected, got);
+    for (const kernels::kernel_table* backend : admissible_backends()) {
+        std::vector<std::int32_t> got(dim, 0);
+        backend->geq_block_accumulate(q.data(), npix, bank.data(), stride, dim,
+                                      got.data(), 127);
+        EXPECT_EQ(expected, got) << "backend=" << backend->name;
+    }
 }
 
 TEST(SimdKernels, TileFlushAddsIntoAccumulator) {
@@ -188,7 +205,7 @@ TEST(SimdKernels, PopcountReductionsMatchNaive) {
     }
 }
 
-TEST(SimdKernels, SignBinarizeVariantsMatchReference) {
+TEST(SimdKernels, SignBinarizeEveryBackendMatchesReference) {
     xoshiro256ss rng(88);
     for (int trial = 0; trial < 200; ++trial) {
         // Dims straddle word boundaries: 1..320 covers non-multiples of 64,
@@ -200,27 +217,27 @@ TEST(SimdKernels, SignBinarizeVariantsMatchReference) {
             // bit 0, the accumulator::sign tie rule).
             v = static_cast<std::int32_t>(rng.next() % 7) - 3;
         }
-        std::vector<std::uint64_t> reference(simd::sign_words(n), ~std::uint64_t{0});
-        std::vector<std::uint64_t> swar(simd::sign_words(n), ~std::uint64_t{0});
+        std::vector<std::uint64_t> reference(kernels::sign_words(n), ~std::uint64_t{0});
+        std::vector<std::uint64_t> swar(kernels::sign_words(n), ~std::uint64_t{0});
         simd::sign_binarize_reference(values.data(), n, reference.data());
         simd::sign_binarize_swar(values.data(), n, swar.data());
         EXPECT_EQ(reference, swar) << "n=" << n;
 
-#ifdef __AVX2__
-        std::vector<std::uint64_t> avx(simd::sign_words(n), ~std::uint64_t{0});
-        simd::sign_binarize_avx2(values.data(), n, avx.data());
-        EXPECT_EQ(reference, avx) << "n=" << n;
-#endif
+        for (const kernels::kernel_table* backend : admissible_backends()) {
+            std::vector<std::uint64_t> got(kernels::sign_words(n), ~std::uint64_t{0});
+            backend->sign_binarize(values.data(), n, got.data());
+            EXPECT_EQ(reference, got) << "backend=" << backend->name << " n=" << n;
 
-        std::vector<std::uint64_t> dispatched(simd::sign_words(n), ~std::uint64_t{0});
-        simd::sign_binarize(values.data(), n, dispatched.data());
-        EXPECT_EQ(reference, dispatched) << "n=" << n;
-
-        // Tail bits beyond n must be zero (the bitstream invariant).
-        if (n % 64 != 0) {
-            const std::uint64_t tail_mask = ~std::uint64_t{0} << (n % 64);
-            EXPECT_EQ(dispatched.back() & tail_mask, 0u);
+            // Tail bits beyond n must be zero (the bitstream invariant).
+            if (n % 64 != 0) {
+                const std::uint64_t tail_mask = ~std::uint64_t{0} << (n % 64);
+                EXPECT_EQ(got.back() & tail_mask, 0u) << "backend=" << backend->name;
+            }
         }
+
+        std::vector<std::uint64_t> dispatched(kernels::sign_words(n), ~std::uint64_t{0});
+        kernels::sign_binarize(values.data(), n, dispatched.data());
+        EXPECT_EQ(reference, dispatched) << "n=" << n;
     }
 }
 
@@ -228,14 +245,16 @@ TEST(SimdKernels, SignBinarizeExtremeValues) {
     const std::vector<std::int32_t> values = {INT32_MIN, INT32_MAX, 0, -1, 1,
                                               INT32_MIN + 1, INT32_MAX - 1};
     std::vector<std::uint64_t> reference(1);
-    std::vector<std::uint64_t> dispatched(1);
     simd::sign_binarize_reference(values.data(), values.size(), reference.data());
-    simd::sign_binarize(values.data(), values.size(), dispatched.data());
-    EXPECT_EQ(reference, dispatched);
     EXPECT_EQ(reference[0], 0b0101001u); // bits set where value < 0
+    for (const kernels::kernel_table* backend : admissible_backends()) {
+        std::vector<std::uint64_t> got(1);
+        backend->sign_binarize(values.data(), values.size(), got.data());
+        EXPECT_EQ(reference, got) << "backend=" << backend->name;
+    }
 }
 
-TEST(SimdKernels, HammingDistanceWordsMatchesScalar) {
+TEST(SimdKernels, HammingDistanceEveryBackendMatchesScalar) {
     xoshiro256ss rng(99);
     for (int trial = 0; trial < 100; ++trial) {
         const std::size_t n = 1 + rng.next() % 40; // crosses the 4-word AVX2 step
@@ -243,16 +262,16 @@ TEST(SimdKernels, HammingDistanceWordsMatchesScalar) {
         std::vector<std::uint64_t> b(n);
         for (auto& w : a) w = rng.next();
         for (auto& w : b) w = rng.next();
-        EXPECT_EQ(simd::hamming_distance_words(a.data(), b.data(), n),
-                  simd::xor_popcount_words(a.data(), b.data(), n));
-#ifdef __AVX2__
-        EXPECT_EQ(simd::xor_popcount_words_avx2(a.data(), b.data(), n),
-                  simd::xor_popcount_words(a.data(), b.data(), n));
-#endif
+        const std::uint64_t expected = simd::xor_popcount_words(a.data(), b.data(), n);
+        for (const kernels::kernel_table* backend : admissible_backends()) {
+            EXPECT_EQ(backend->hamming_distance_words(a.data(), b.data(), n), expected)
+                << "backend=" << backend->name;
+        }
+        EXPECT_EQ(kernels::hamming_distance_words(a.data(), b.data(), n), expected);
     }
 }
 
-TEST(SimdKernels, HammingArgminMatchesReference) {
+TEST(SimdKernels, HammingArgminEveryBackendMatchesReference) {
     xoshiro256ss rng(111);
     for (int trial = 0; trial < 150; ++trial) {
         const std::size_t words = 1 + rng.next() % 20;
@@ -267,17 +286,52 @@ TEST(SimdKernels, HammingArgminMatchesReference) {
                       memory.begin() + static_cast<std::ptrdiff_t>((rows - 1) * words));
         }
         std::uint64_t ref_distance = 0;
-        std::uint64_t distance = 0;
         const std::size_t ref = simd::hamming_argmin_reference(
             query.data(), memory.data(), words, rows, &ref_distance);
-        const std::size_t got =
-            simd::hamming_argmin(query.data(), memory.data(), words, rows, &distance);
-        EXPECT_EQ(got, ref);
-        EXPECT_EQ(distance, ref_distance);
+        for (const kernels::kernel_table* backend : admissible_backends()) {
+            std::uint64_t distance = 0;
+            const std::size_t got = backend->hamming_argmin(
+                query.data(), memory.data(), words, rows, &distance);
+            EXPECT_EQ(got, ref) << "backend=" << backend->name;
+            EXPECT_EQ(distance, ref_distance) << "backend=" << backend->name;
+        }
     }
 }
 
-TEST(SimdKernels, BlockedDotKernelsMatchNaive) {
+TEST(SimdKernels, PrefixArgminAndExtendEveryBackendMatchReference) {
+    xoshiro256ss rng(131);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t row_words = 2 + rng.next() % 24;
+        const std::size_t prefix = 1 + rng.next() % row_words;
+        const std::size_t rows = 1 + rng.next() % 12;
+        std::vector<std::uint64_t> memory(row_words * rows);
+        std::vector<std::uint64_t> query(row_words);
+        for (auto& w : memory) w = rng.next();
+        for (auto& w : query) w = rng.next();
+
+        const auto ref = simd::hamming_argmin2_prefix_reference(
+            query.data(), memory.data(), row_words, prefix, rows);
+        std::vector<std::uint64_t> ref_extended(rows, 5); // += semantics
+        simd::hamming_extend_words_reference(query.data(), memory.data(), row_words,
+                                             prefix / 2, prefix, rows,
+                                             ref_extended.data());
+
+        for (const kernels::kernel_table* backend : admissible_backends()) {
+            const auto got = backend->hamming_argmin2_prefix(
+                query.data(), memory.data(), row_words, prefix, rows);
+            EXPECT_EQ(got.index, ref.index) << "backend=" << backend->name;
+            EXPECT_EQ(got.distance, ref.distance) << "backend=" << backend->name;
+            EXPECT_EQ(got.runner_up, ref.runner_up) << "backend=" << backend->name;
+
+            std::vector<std::uint64_t> extended(rows, 5);
+            backend->hamming_extend_words(query.data(), memory.data(), row_words,
+                                          prefix / 2, prefix, rows, extended.data());
+            EXPECT_EQ(extended, ref_extended) << "backend=" << backend->name;
+        }
+    }
+}
+
+TEST(SimdKernels, BlockedDotKernelsEveryBackendBitIdentical) {
     xoshiro256ss rng(122);
     for (int trial = 0; trial < 100; ++trial) {
         const std::size_t n = 1 + rng.next() % 500;
@@ -291,16 +345,25 @@ TEST(SimdKernels, BlockedDotKernelsMatchNaive) {
             naive_dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
             naive_sq += static_cast<double>(a[i]) * static_cast<double>(a[i]);
         }
-        // Lane-split accumulation reorders the rounding, so compare to a
-        // relative tolerance rather than bit-exact.
+        // Lane-split accumulation reorders the rounding, so compare to the
+        // naive loop with a relative tolerance...
+        const double portable_dot = simd::dot_i32(a.data(), b.data(), n);
+        const double portable_sq = simd::sum_squares_i32(a.data(), n);
         const double scale = std::max(1.0, std::abs(naive_dot));
-        EXPECT_NEAR(simd::dot_i32(a.data(), b.data(), n), naive_dot, 1e-9 * scale);
-        EXPECT_NEAR(simd::sum_squares_i32(a.data(), n), naive_sq,
-                    1e-9 * std::max(1.0, naive_sq));
+        EXPECT_NEAR(portable_dot, naive_dot, 1e-9 * scale);
+        EXPECT_NEAR(portable_sq, naive_sq, 1e-9 * std::max(1.0, naive_sq));
+        // ...but every backend runs the identical fixed-lane algorithm, so
+        // across backends the doubles must agree bit-for-bit.
+        for (const kernels::kernel_table* backend : admissible_backends()) {
+            EXPECT_EQ(backend->dot_i32(a.data(), b.data(), n), portable_dot)
+                << "backend=" << backend->name;
+            EXPECT_EQ(backend->sum_squares_i32(a.data(), n), portable_sq)
+                << "backend=" << backend->name;
+        }
     }
 }
 
-TEST(SimdKernels, MaskedSumMatchesNaive) {
+TEST(SimdKernels, MaskedSumEveryBackendMatchesNaive) {
     xoshiro256ss rng(55);
     for (int trial = 0; trial < 50; ++trial) {
         const std::size_t n = 1 + rng.next() % 300;
@@ -314,7 +377,11 @@ TEST(SimdKernels, MaskedSumMatchesNaive) {
                 expected += values[i];
             }
         }
-        EXPECT_EQ(simd::masked_sum_i32(mask.data(), values.data(), n), expected);
+        for (const kernels::kernel_table* backend : admissible_backends()) {
+            EXPECT_EQ(backend->masked_sum_i32(mask.data(), values.data(), n), expected)
+                << "backend=" << backend->name;
+        }
+        EXPECT_EQ(kernels::masked_sum_i32(mask.data(), values.data(), n), expected);
     }
 }
 
@@ -353,7 +420,8 @@ TEST(EncoderEquivalence, WordParallelMatchesScalarOracleAcross100Configs) {
             enc.encode_scalar(image, oracle);
             ASSERT_EQ(fast, oracle)
                 << "config " << config_i << ": dim=" << c.cfg.dim
-                << " levels=" << c.cfg.quant_levels << " scramble=" << c.cfg.scramble;
+                << " levels=" << c.cfg.quant_levels << " scramble=" << c.cfg.scramble
+                << " backend=" << kernels::active().name;
         }
     }
 }

@@ -2,6 +2,9 @@
 // Fig. 4 unary comparator (exhaustive over all operand pairs).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "uhd/bitstream/stream_table.hpp"
 #include "uhd/bitstream/unary.hpp"
 #include "uhd/common/error.hpp"
@@ -148,6 +151,116 @@ TEST(StreamTable, FetchedStreamsCompareLikeValues) {
             EXPECT_EQ(unary_compare_geq(ust.fetch(a), ust.fetch(b)), a >= b);
         }
     }
+}
+
+// --- word-level rewrite vs bit-at-a-time references -----------------------
+//
+// unary_encode / unary_min / unary_max / unary_compare_geq run word-level
+// on the packed storage. These references restate the original per-bit
+// formulations; the production ops must match them bit-for-bit on lengths
+// that straddle 64-bit word boundaries (the cases a single-word test like
+// UnaryPairs can never catch).
+
+bitstream reference_encode(std::size_t value, std::size_t length,
+                           unary_alignment align) {
+    bitstream out(length);
+    if (align == unary_alignment::ones_leading) {
+        for (std::size_t i = 0; i < value; ++i) out.set_bit(i, true);
+    } else {
+        for (std::size_t i = 0; i < value; ++i) out.set_bit(length - 1 - i, true);
+    }
+    return out;
+}
+
+bitstream reference_combine(const bitstream& a, const bitstream& b, bool min) {
+    bitstream out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        out.set_bit(i, min ? (a.bit(i) && b.bit(i)) : (a.bit(i) || b.bit(i)));
+    }
+    return out;
+}
+
+bool reference_compare_geq(const bitstream& a, const bitstream& b) {
+    // The literal Fig. 4 gate sequence with materialized intermediates.
+    const bitstream minimum = a & b;
+    const bitstream check = minimum | ~b;
+    return check.all();
+}
+
+const std::size_t kBoundaryLengths[] = {1,  2,   63,  64,  65,  127,
+                                        128, 129, 190, 192, 200};
+
+TEST(UnaryWordLevel, EncodeMatchesPerBitReferenceAcrossWordBoundaries) {
+    for (const std::size_t n : kBoundaryLengths) {
+        for (const auto align :
+             {unary_alignment::ones_leading, unary_alignment::ones_trailing}) {
+            // Every value, including the all-zeros and all-ones runs and
+            // the values that land a run boundary exactly on a word edge.
+            for (std::size_t v = 0; v <= n; ++v) {
+                const bitstream got = unary_encode(v, n, align);
+                ASSERT_EQ(got, reference_encode(v, n, align))
+                    << "n=" << n << " v=" << v
+                    << " leading=" << (align == unary_alignment::ones_leading);
+                ASSERT_TRUE(is_unary(got, align));
+                ASSERT_EQ(got.popcount(), v);
+            }
+        }
+    }
+}
+
+TEST(UnaryWordLevel, MinMaxCompareMatchPerBitReferencesAcrossWordBoundaries) {
+    for (const std::size_t n : kBoundaryLengths) {
+        // Values around the word edges plus the extremes; quadratic over
+        // the full range would be wasteful at n=200.
+        std::vector<std::size_t> values{0, 1, n / 2, n - 1, n};
+        for (const std::size_t edge : {std::size_t{63}, std::size_t{64},
+                                       std::size_t{65}, std::size_t{128}}) {
+            if (edge <= n) values.push_back(edge);
+        }
+        for (const std::size_t va : values) {
+            for (const std::size_t vb : values) {
+                const bitstream a = unary_encode(va, n);
+                const bitstream b = unary_encode(vb, n);
+                ASSERT_EQ(unary_min(a, b), reference_combine(a, b, true))
+                    << "n=" << n << " a=" << va << " b=" << vb;
+                ASSERT_EQ(unary_max(a, b), reference_combine(a, b, false))
+                    << "n=" << n << " a=" << va << " b=" << vb;
+                ASSERT_EQ(unary_compare_geq(a, b), reference_compare_geq(a, b))
+                    << "n=" << n << " a=" << va << " b=" << vb;
+                ASSERT_EQ(unary_compare_geq(a, b), va >= vb);
+            }
+        }
+    }
+}
+
+TEST(UnaryWordLevel, ComparatorMatchesGateReferenceOnNonThermometerInputs) {
+    // unary_compare_geq documents thermometer inputs, but the word-level
+    // fold must stay equivalent to the literal gate network for arbitrary
+    // bit patterns too (the gates don't know the input is a valid code).
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    const auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (const std::size_t n : kBoundaryLengths) {
+        for (int trial = 0; trial < 40; ++trial) {
+            bitstream a(n);
+            bitstream b(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                a.set_bit(i, (next() & 1) != 0);
+                b.set_bit(i, (next() & 1) != 0);
+            }
+            ASSERT_EQ(unary_compare_geq(a, b), reference_compare_geq(a, b))
+                << "n=" << n << " trial=" << trial;
+        }
+    }
+}
+
+TEST(UnaryWordLevel, MinMaxLengthMismatchThrows) {
+    EXPECT_THROW((void)unary_min(unary_encode(1, 4), unary_encode(1, 5)), uhd::error);
+    EXPECT_THROW((void)unary_max(unary_encode(1, 4), unary_encode(1, 5)), uhd::error);
 }
 
 } // namespace
