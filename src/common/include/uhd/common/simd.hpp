@@ -251,22 +251,11 @@ inline void sign_binarize_swar(const std::int32_t* v, std::size_t n,
     }
 }
 
-/// Population count over `n` packed words.
-[[nodiscard]] inline std::uint64_t popcount_words(const std::uint64_t* w,
-                                                  std::size_t n) noexcept {
-    std::uint64_t total = 0;
-    for (std::size_t i = 0; i < n; ++i) total += std::popcount(w[i]);
-    return total;
-}
-
-/// popcount(a AND b) over `n` packed words (unary/bitstream overlap).
-[[nodiscard]] inline std::uint64_t and_popcount_words(const std::uint64_t* a,
-                                                      const std::uint64_t* b,
-                                                      std::size_t n) noexcept {
-    std::uint64_t total = 0;
-    for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] & b[i]);
-    return total;
-}
+// The plain popcount_words / and_popcount_words reductions that used to
+// live here are gone: the bitstream layer carries its own word-level
+// popcounts and every other call site consumes the read state through the
+// uhd::kernels registry, so only the XOR reduction (the Hamming kernel
+// the packed-row scans are built on) still has consumers.
 
 /// popcount(a XOR b) over `n` packed words (Hamming distance kernel).
 [[nodiscard]] inline std::uint64_t xor_popcount_words(const std::uint64_t* a,

@@ -95,6 +95,18 @@ public:
         return classifier_.packed_class_memory();
     }
 
+    /// Immutable copy of the model's read state (packed class memory +
+    /// integer rows/norms + metadata). Every predict*/evaluate call above
+    /// runs on this state already; a snapshot() copy answers bit-identically
+    /// and stays valid while the model keeps training — it is what the
+    /// serve layer (serve::inference_engine) publishes to concurrent
+    /// readers. Serialization round-trips it: save() writes the class
+    /// accumulators (the training state the snapshot is derived from), and
+    /// load() re-finalizes, so a loaded model's snapshot() is bit-identical
+    /// to the saved model's (tests/test_inference_snapshot.cpp, per
+    /// backend).
+    [[nodiscard]] hdc::inference_snapshot snapshot() const;
+
     /// Serialize to a binary stream (magic 'uHDm', versioned).
     void save(std::ostream& os) const;
 

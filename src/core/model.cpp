@@ -91,6 +91,8 @@ std::size_t uhd_model::predict_dynamic(std::span<const std::uint8_t> image,
     return classifier_.predict_dynamic(image, policy, stats);
 }
 
+hdc::inference_snapshot uhd_model::snapshot() const { return classifier_.snapshot(); }
+
 hdc::dynamic_query_policy uhd_model::calibrate_dynamic(const data::dataset& holdout,
                                                        double target_agreement,
                                                        thread_pool* pool) const {

@@ -55,4 +55,8 @@ std::size_t class_memory::nearest(const hypervector& query,
     return nearest(query.bits().words(), distance_out);
 }
 
+bool class_memory::operator==(const class_memory& other) const noexcept {
+    return classes_ == other.classes_ && dim_ == other.dim_ && rows_ == other.rows_;
+}
+
 } // namespace uhd::hdc

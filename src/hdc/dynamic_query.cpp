@@ -5,6 +5,7 @@
 
 #include "uhd/common/error.hpp"
 #include "uhd/common/kernels.hpp"
+#include "uhd/hdc/inference_snapshot.hpp"
 
 namespace uhd::hdc {
 
@@ -150,6 +151,28 @@ std::size_t dynamic_query_policy::answer(const class_memory& mem,
         }
     }
     return 0; // unreachable: the final stage always answers
+}
+
+// --- snapshot overloads ---------------------------------------------------
+
+dynamic_query_policy dynamic_query_policy::full_scan(const inference_snapshot& snap) {
+    return full_scan(snap.memory());
+}
+
+dynamic_query_policy dynamic_query_policy::ladder(const inference_snapshot& snap) {
+    return ladder(snap.memory());
+}
+
+dynamic_query_policy dynamic_query_policy::calibrate(
+    const inference_snapshot& snap, std::span<const std::uint64_t> queries,
+    std::size_t count, double target_agreement) {
+    return calibrate(snap.memory(), queries, count, target_agreement);
+}
+
+std::size_t dynamic_query_policy::answer(const inference_snapshot& snap,
+                                         std::span<const std::uint64_t> query_words,
+                                         dynamic_query_stats* stats) const {
+    return answer(snap.memory(), query_words, stats);
 }
 
 } // namespace uhd::hdc

@@ -76,6 +76,14 @@ public:
     [[nodiscard]] prefix_result nearest_prefix(
         std::span<const std::uint64_t> query_words, std::size_t window_words) const;
 
+    /// Payload equality: same geometry and identical packed rows. The tail
+    /// bits beyond dim() are zero by construction (store() copies from
+    /// hypervectors holding the bitstream tail invariant), so word-wise
+    /// comparison is exact bit-level row equality. This is what makes a
+    /// class_memory a snapshot-friendly value type: copy = one vector copy,
+    /// equality = one vector compare.
+    [[nodiscard]] bool operator==(const class_memory& other) const noexcept;
+
     /// Heap footprint of the packed rows (Table I memory accounting).
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
         return rows_.capacity() * sizeof(std::uint64_t);

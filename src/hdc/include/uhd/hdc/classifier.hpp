@@ -16,13 +16,25 @@
 // An optional perceptron-style retraining pass (AdaptHD-like, the "w/
 // retrain" rows of Fig. 6(b)) is provided as an extension.
 //
+// Train/serve split: the classifier owns two kinds of state.
+// * Training state — the integer class accumulators (class_acc_), mutated
+//   by fit/partial_fit/retrain and never read by inference.
+// * Read state — an hdc::inference_snapshot (packed class memory, integer
+//   class rows + cached norms, metadata) that finalize() re-derives from
+//   the accumulators. Every predict* path delegates to it, so the
+//   classifier answers queries exactly like a snapshot() copy would, and
+//   snapshot() copies are what the serve layer publishes to concurrent
+//   readers (serve::inference_engine) — one writer finalizes and
+//   publishes, readers never touch classifier internals.
+//
 // Inference runs on the packed associative-memory engine: binarized-mode
 // queries are sign-binarized word-parallel (kernels::sign_binarize) and
-// answered by a Hamming-argmin scan over the contiguous class_memory —
-// bit-identical to the per-class cosine argmax it replaced (cosine is
-// strictly decreasing in Hamming distance for fixed D, ties first-wins in
-// both). Integer-mode queries use the blocked dot-product kernels with the
-// per-class norms cached at finalization.
+// answered by a Hamming-argmin scan over the contiguous packed class
+// memory — bit-identical to the per-class cosine argmax it replaced
+// (cosine is strictly decreasing in Hamming distance for fixed D, ties
+// first-wins in both). Integer-mode queries use the blocked dot-product
+// kernels against the snapshot's integer class rows with norms cached at
+// finalization.
 //
 // Training scales two ways beyond the sequential fit() loop:
 // * fit_parallel — the mini-batch thread-parallel engine (hdc/trainer.hpp):
@@ -56,16 +68,11 @@
 #include "uhd/hdc/accumulator.hpp"
 #include "uhd/hdc/class_memory.hpp"
 #include "uhd/hdc/dynamic_query.hpp"
+#include "uhd/hdc/inference_snapshot.hpp" // query_mode + the read-state type
 #include "uhd/hdc/similarity.hpp"
 #include "uhd/hdc/trainer.hpp" // train_mode + the mini-batch parallel engine
 
 namespace uhd::hdc {
-
-/// How a query is compared against the trained classes.
-enum class query_mode {
-    binarized, ///< sign() the query, cosine against binarized class vectors
-    integer,   ///< cosine between the raw query and integer class vectors
-};
 
 /// Single-pass centroid classifier over any pixel encoder.
 template <typename Encoder>
@@ -74,17 +81,16 @@ public:
     hd_classifier(const Encoder& encoder, std::size_t classes,
                   train_mode mode = train_mode::binarized_images,
                   query_mode inference = query_mode::binarized)
-        : encoder_(&encoder), classes_(classes), mode_(mode), inference_(inference),
-          class_mem_(classes, encoder.dim()) {
+        : encoder_(&encoder), classes_(classes), mode_(mode),
+          state_(inference, classes, encoder.dim()) {
         UHD_REQUIRE(classes >= 2, "need at least two classes");
         class_acc_.assign(classes_, accumulator(encoder.dim()));
         class_hv_.assign(classes_, hypervector(encoder.dim()));
-        class_norm_sq_.assign(classes_, 0.0);
     }
 
     [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
     [[nodiscard]] train_mode mode() const noexcept { return mode_; }
-    [[nodiscard]] query_mode inference() const noexcept { return inference_; }
+    [[nodiscard]] query_mode inference() const noexcept { return state_.mode(); }
     [[nodiscard]] const Encoder& encoder() const noexcept { return *encoder_; }
 
     /// Single-pass training over the dataset (labels must be < classes()).
@@ -116,7 +122,7 @@ public:
     }
 
     /// Incrementally add one labeled example (dynamic/online training).
-    /// Only the touched class is re-binarized, so an online update costs
+    /// Only the touched class is re-finalized, so an online update costs
     /// O(D) rather than O(classes * D); the encode scratch is a reused
     /// per-instance buffer, so steady-state updates are allocation-free.
     void partial_fit(std::span<const std::uint8_t> image, std::size_t label) {
@@ -138,39 +144,15 @@ public:
     }
 
     /// Predict from an already-encoded accumulator (shared by predict and
-    /// retrain so each image is encoded exactly once). Binarized mode:
-    /// word-parallel sign-binarize + Hamming-argmin over the packed class
-    /// memory. Integer mode: blocked dot products against the class
-    /// accumulators with cached class norms (cosine argmax, first-wins).
+    /// retrain so each image is encoded exactly once). Delegates to the
+    /// read-state snapshot: binarized mode = word-parallel sign-binarize +
+    /// Hamming-argmin over the packed class memory, integer mode = blocked
+    /// dot products against the integer class rows with cached norms
+    /// (cosine argmax, first-wins).
     [[nodiscard]] std::size_t predict_encoded(
         std::span<const std::int32_t> encoded) const {
         UHD_REQUIRE(encoded.size() == encoder_->dim(), "encoded size mismatch");
-        if (inference_ == query_mode::integer) {
-            const double query_norm_sq =
-                kernels::sum_squares_i32(encoded.data(), encoded.size());
-            std::size_t best = 0;
-            double best_similarity = -2.0;
-            for (std::size_t c = 0; c < classes_; ++c) {
-                double similarity = 0.0; // zero-norm convention of cosine()
-                if (query_norm_sq > 0.0 && class_norm_sq_[c] > 0.0) {
-                    similarity =
-                        kernels::dot_i32(encoded.data(), class_acc_[c].values().data(),
-                                      encoded.size()) /
-                        std::sqrt(query_norm_sq * class_norm_sq_[c]);
-                }
-                if (similarity > best_similarity) {
-                    best_similarity = similarity;
-                    best = c;
-                }
-            }
-            return best;
-        }
-        // Binarize the query word-parallel (the hardware emits sign bits,
-        // Fig. 5) and answer it with the associative memory.
-        static thread_local std::vector<std::uint64_t> query_words;
-        query_words.resize(kernels::sign_words(encoded.size()));
-        kernels::sign_binarize(encoded.data(), encoded.size(), query_words.data());
-        return class_mem_.nearest(query_words);
+        return state_.predict_encoded(encoded);
     }
 
     /// Dynamic-dimension inference from an already-encoded accumulator: the
@@ -183,10 +165,7 @@ public:
         std::span<const std::int32_t> encoded, const dynamic_query_policy& policy,
         dynamic_query_stats* stats = nullptr) const {
         UHD_REQUIRE(encoded.size() == encoder_->dim(), "encoded size mismatch");
-        static thread_local std::vector<std::uint64_t> query_words;
-        query_words.resize(kernels::sign_words(encoded.size()));
-        kernels::sign_binarize(encoded.data(), encoded.size(), query_words.data());
-        return policy.answer(class_mem_, query_words, stats);
+        return state_.predict_dynamic_encoded(encoded, policy, stats);
     }
 
     /// Dynamic-dimension inference on one image (encode + cascade).
@@ -221,7 +200,7 @@ public:
                                         packed.data() + i * words);
                 }
             });
-        return dynamic_query_policy::calibrate(class_mem_, packed, holdout.size(),
+        return dynamic_query_policy::calibrate(state_, packed, holdout.size(),
                                                target_agreement);
     }
 
@@ -283,11 +262,13 @@ public:
                 class_acc_[truth].add_values(scratch);
                 class_acc_[predicted].subtract_values(scratch);
                 // Integer-mode predictions compare against the live
-                // accumulators, so their cached norms must follow each
-                // update; binarized class vectors refresh at epoch end.
-                if (inference_ == query_mode::integer) {
-                    refresh_norm(truth);
-                    refresh_norm(predicted);
+                // accumulators, so the snapshot's integer rows (and their
+                // cached norms) must follow each update; binarized class
+                // vectors refresh at epoch end.
+                if (inference() == query_mode::integer) {
+                    state_.store_class_values(truth, class_acc_[truth].values());
+                    state_.store_class_values(predicted,
+                                              class_acc_[predicted].values());
                 }
                 ++last_epoch_updates;
             }
@@ -308,7 +289,7 @@ public:
     /// is inherently sequential: it falls through to retrain().
     std::size_t retrain(const data::dataset& train, std::size_t epochs,
                         thread_pool* pool, std::size_t batch_images = 256) {
-        if (pool == nullptr || inference_ == query_mode::integer) {
+        if (pool == nullptr || inference() == query_mode::integer) {
             return retrain(train, epochs);
         }
         if (batch_images == 0) batch_images = 1;
@@ -360,10 +341,18 @@ public:
     }
 
     /// Packed associative memory over the binarized class vectors (the
-    /// inference engine's class store).
+    /// read-state snapshot's class store).
     [[nodiscard]] const class_memory& packed_class_memory() const noexcept {
-        return class_mem_;
+        return state_.memory();
     }
+
+    /// Immutable copy of the current read state. The copy is independent:
+    /// later fit/partial_fit/retrain calls never affect it, so it can be
+    /// handed to concurrent readers (serve::inference_engine::publish) while
+    /// this classifier keeps training. Its version() is the classifier's
+    /// mutation count — strictly larger in any later snapshot whose state
+    /// changed.
+    [[nodiscard]] inference_snapshot snapshot() const { return state_; }
 
     /// Restore class accumulators (deserialization support); class
     /// hypervectors are re-derived by binarization.
@@ -377,9 +366,9 @@ public:
     }
 
     /// Heap footprint of the model (class accumulators + hypervectors +
-    /// packed associative memory).
+    /// the read-state snapshot).
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
-        std::size_t bytes = class_mem_.memory_bytes();
+        std::size_t bytes = state_.memory_bytes();
         for (const auto& a : class_acc_) bytes += a.memory_bytes();
         for (const auto& v : class_hv_) bytes += v.memory_bytes();
         return bytes;
@@ -399,17 +388,13 @@ private:
         class_acc_[label].add_sign_words(sign_scratch_);
     }
 
-    /// Re-derive the binarized vector, packed row, and cached norm of one
-    /// class from its accumulator.
+    /// Re-derive one class of the read state from its accumulator: the
+    /// binarized vector, the packed row, and (integer mode) the integer row
+    /// with its cached norm.
     void finalize_class(std::size_t c) {
         class_hv_[c] = class_acc_[c].sign();
-        class_mem_.store(c, class_hv_[c]);
-        refresh_norm(c);
-    }
-
-    void refresh_norm(std::size_t c) {
-        const auto values = class_acc_[c].values();
-        class_norm_sq_[c] = kernels::sum_squares_i32(values.data(), values.size());
+        state_.store_class_row(c, class_hv_[c]);
+        state_.store_class_values(c, class_acc_[c].values());
     }
 
     void finalize() {
@@ -419,11 +404,9 @@ private:
     const Encoder* encoder_;
     std::size_t classes_;
     train_mode mode_;
-    query_mode inference_;
-    std::vector<accumulator> class_acc_;
+    std::vector<accumulator> class_acc_; ///< training state (write path)
     std::vector<hypervector> class_hv_;
-    class_memory class_mem_;
-    std::vector<double> class_norm_sq_;
+    inference_snapshot state_;           ///< read state (every predict path)
     // Reused scratch buffers for partial_fit / bundle_into: online updates
     // advertise O(D) cost, so they must not pay a heap allocation per call
     // in either train mode.

@@ -29,6 +29,8 @@
 
 namespace uhd::hdc {
 
+class inference_snapshot; // the immutable read state policies serve against
+
 /// One stage of the early-exit cascade.
 struct dynamic_stage {
     /// Prefix window (64-bit words per class row) this stage scans up to.
@@ -100,6 +102,16 @@ public:
     /// the thresholds that enable them.
     [[nodiscard]] static dynamic_query_policy ladder(const class_memory& mem);
 
+    /// Snapshot overloads: policies are plain data keyed only on the row
+    /// width, so one policy built for a snapshot serves every later
+    /// snapshot of the same geometry — calibrate once, publish many times.
+    [[nodiscard]] static dynamic_query_policy full_scan(
+        const inference_snapshot& snap);
+    [[nodiscard]] static dynamic_query_policy ladder(const inference_snapshot& snap);
+    [[nodiscard]] static dynamic_query_policy calibrate(
+        const inference_snapshot& snap, std::span<const std::uint64_t> queries,
+        std::size_t count, double target_agreement);
+
     /// Calibrate the ladder on `count` held-out packed queries (each
     /// mem.words_per_class() words, back-to-back in `queries`, same packing
     /// as nearest()). For each early stage, the chosen threshold is the
@@ -132,6 +144,12 @@ public:
     /// early stage is disabled — or the exit lands on the final stage — the
     /// result is bit-identical to mem.nearest(query_words).
     [[nodiscard]] std::size_t answer(const class_memory& mem,
+                                     std::span<const std::uint64_t> query_words,
+                                     dynamic_query_stats* stats = nullptr) const;
+
+    /// Answer against a snapshot's packed memory (see the class_memory
+    /// overload for the contract).
+    [[nodiscard]] std::size_t answer(const inference_snapshot& snap,
                                      std::span<const std::uint64_t> query_words,
                                      dynamic_query_stats* stats = nullptr) const;
 

@@ -16,6 +16,14 @@
 // falling back to per-image encode() for encoders that only satisfy the
 // minimal contract (dim() + encode()). Mini-batching bounds the encode
 // scratch at batch_images * dim int32 per lane regardless of set size.
+//
+// Train/serve contract: everything here mutates only *training* state —
+// the caller's accumulators — never the read state concurrent queries run
+// on. A trainer thread that serves traffic while learning owns its
+// hd_classifier privately (fit/partial_fit/retrain on this engine), then
+// publishes hd_classifier::snapshot() through
+// serve::inference_engine::publish — one atomic pointer swap; in-flight
+// readers keep answering from the snapshot they already hold.
 #ifndef UHD_HDC_TRAINER_HPP
 #define UHD_HDC_TRAINER_HPP
 

@@ -1,0 +1,156 @@
+// Concurrent micro-batching serving engine over immutable inference
+// snapshots — the "serve heavy traffic while learning online" layer.
+//
+// Architecture (RCU-style single-writer / many-readers):
+//
+//   clients ──submit()──▶ micro_batch_queue ──pop_batch()──▶ workers
+//                                                              │
+//   trainer ──partial_fit/retrain on its PRIVATE classifier    │ load
+//      │                                                       ▼
+//      └──publish(classifier.snapshot()) ──▶ snapshot_cell ◀───┘
+//                       (shared_ptr<const inference_snapshot> slot)
+//
+// * The current snapshot lives in one snapshot_cell (atomic-shared_ptr
+//   semantics, TSan-verifiable implementation — see snapshot_cell.hpp).
+//   Readers (pool workers) load it once per micro-batch and answer every
+//   request in the batch from that one immutable state, with no lock held
+//   during inference; they never wait on training work and never observe
+//   a half-updated model.
+// * publish() is a single pointer swap. In-flight batches keep the
+//   snapshot they already loaded (shared_ptr keeps it alive until the
+//   last reader drops it); new batches see the new state. Queries are
+//   therefore always answered by *some* fully-finalized snapshot — the
+//   one current at batch start.
+// * Training state never enters the engine: the trainer owns its
+//   hd_classifier/uhd_model privately and hands in only snapshot()
+//   copies. Correctness bar (tested, incl. under TSan): engine answers
+//   are bit-identical to predict_encoded / predict_dynamic on the same
+//   snapshot for every backend.
+//
+// Queries are pre-encoded int32 accumulators (encoding is
+// encoder-specific and has its own batch engine); submit() returns a
+// future, predict() is the blocking convenience. An engine configured
+// with a dynamic_query_policy answers through the early-exit cascade
+// instead of the full scan.
+#ifndef UHD_SERVE_INFERENCE_ENGINE_HPP
+#define UHD_SERVE_INFERENCE_ENGINE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "uhd/hdc/dynamic_query.hpp"
+#include "uhd/hdc/inference_snapshot.hpp"
+#include "uhd/serve/request_queue.hpp"
+#include "uhd/serve/serve_stats.hpp"
+#include "uhd/serve/snapshot_cell.hpp"
+
+namespace uhd::serve {
+
+/// Engine tuning knobs.
+struct engine_options {
+    /// Pool workers draining the request queue (>= 1).
+    std::size_t workers = 2;
+    /// Largest micro-batch one worker drains in one pass; the batch shares
+    /// one snapshot load. Larger batches amortize more but lengthen the
+    /// tail a burst adds to the last request in the batch.
+    std::size_t max_batch = 32;
+    /// Bounded backlog; producers block (backpressure) when it is full.
+    std::size_t queue_capacity = 4096;
+};
+
+/// Micro-batching query server over an atomically swappable snapshot.
+class inference_engine {
+public:
+    /// Start `options.workers` workers serving `initial`.
+    explicit inference_engine(hdc::inference_snapshot initial,
+                              engine_options options = {});
+
+    /// Same, answering through the early-exit cascade: `policy` must match
+    /// the snapshot's row width (and every snapshot published later — the
+    /// engine enforces fixed geometry across publishes). Like
+    /// hd_classifier::predict_dynamic, the cascade always answers from the
+    /// packed associative memory regardless of the snapshot's query_mode:
+    /// a policy-configured engine over an integer-mode snapshot serves the
+    /// binarized cascade answers, not the integer cosine ones (tested —
+    /// bit-identical to predict_dynamic_encoded either way).
+    inference_engine(hdc::inference_snapshot initial,
+                     hdc::dynamic_query_policy policy,
+                     engine_options options = {});
+
+    inference_engine(const inference_engine&) = delete;
+    inference_engine& operator=(const inference_engine&) = delete;
+
+    /// stop()s and joins the workers.
+    ~inference_engine();
+
+    /// Swap in a new snapshot (single atomic pointer store). The trainer's
+    /// publish path: geometry and query mode must match the engine's.
+    /// In-flight batches finish on the snapshot they hold; the swap never
+    /// waits for them.
+    void publish(hdc::inference_snapshot next);
+
+    /// The snapshot currently answering new batches. Holding the returned
+    /// pointer pins that state — queries predicted against it directly are
+    /// self-consistent even across concurrent publishes.
+    [[nodiscard]] std::shared_ptr<const hdc::inference_snapshot> current() const;
+
+    /// Enqueue one pre-encoded query (dim() int32 values; the vector is
+    /// moved into the request). The future yields the predicted class, or
+    /// rethrows if the engine is stopped before the request is served.
+    /// Throws uhd::error on a size mismatch or when already stopped.
+    [[nodiscard]] std::future<std::size_t> submit(std::vector<std::int32_t> encoded);
+
+    /// Blocking convenience: submit + wait. The span is copied into the
+    /// request; prefer submit() with a moved vector on hot paths.
+    [[nodiscard]] std::size_t predict(std::span<const std::int32_t> encoded);
+
+    /// Point-in-time counters (see serve_stats for the consistency note).
+    [[nodiscard]] serve_stats stats() const;
+
+    /// Geometry served by this engine (fixed across publishes).
+    [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+    [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+
+    /// Close the queue, serve the backlog, join the workers. Unserved
+    /// requests (none, once the backlog drains) would see broken-promise
+    /// futures. Idempotent and safe against concurrent callers (a racing
+    /// stop() blocks until the first one has joined); called by the
+    /// destructor.
+    void stop();
+
+private:
+    struct request {
+        std::vector<std::int32_t> encoded;
+        std::promise<std::size_t> answer;
+    };
+
+    void start_workers(std::size_t workers);
+    void worker_loop();
+
+    // Snapshot geometry, pinned at construction: publish() enforces it so
+    // a worker mid-batch can never see a dimension change under its feet.
+    std::size_t dim_ = 0;
+    std::size_t classes_ = 0;
+    hdc::query_mode mode_;
+
+    snapshot_cell current_;
+    std::optional<hdc::dynamic_query_policy> policy_;
+    micro_batch_queue<request> queue_;
+    std::size_t max_batch_;
+    serve_counters counters_;
+    std::vector<std::thread> workers_;
+    std::atomic<bool> stopped_{false};
+    std::mutex stop_mutex_; ///< serializes stop() callers around the joins
+};
+
+} // namespace uhd::serve
+
+#endif // UHD_SERVE_INFERENCE_ENGINE_HPP

@@ -1,0 +1,63 @@
+// Serving-engine counters: lock-free atomics updated by workers and the
+// publisher, snapshotted into a plain struct for reporting.
+#ifndef UHD_SERVE_SERVE_STATS_HPP
+#define UHD_SERVE_SERVE_STATS_HPP
+
+#include <atomic>
+#include <cstdint>
+
+namespace uhd::serve {
+
+/// Point-in-time view of an engine's counters (plain data, safe to copy
+/// around and print). Counters are each individually consistent; a view
+/// taken mid-flight may be torn *across* fields (queries from one instant,
+/// batches from the next) — fine for monitoring, quiesce first for exact
+/// accounting.
+struct serve_stats {
+    std::uint64_t queries = 0;            ///< requests answered
+    std::uint64_t batches = 0;            ///< micro-batches drained
+    std::uint64_t snapshot_swaps = 0;     ///< publish() calls accepted
+    std::uint64_t max_batch_observed = 0; ///< largest drained batch
+    std::uint64_t snapshot_version = 0;   ///< version of the live snapshot
+};
+
+/// The engine's live counters. Relaxed ordering throughout: counters are
+/// monotonic telemetry, not synchronization — snapshot publication has its
+/// own acquire/release edge (the atomic shared_ptr swap).
+class serve_counters {
+public:
+    void record_batch(std::uint64_t batch_size) noexcept {
+        queries_.fetch_add(batch_size, std::memory_order_relaxed);
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        // Monotonic max via CAS: several workers may race, the largest wins.
+        std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+        while (batch_size > seen &&
+               !max_batch_.compare_exchange_weak(seen, batch_size,
+                                                 std::memory_order_relaxed)) {
+        }
+    }
+
+    void record_swap() noexcept {
+        swaps_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] serve_stats load(std::uint64_t snapshot_version) const noexcept {
+        serve_stats out;
+        out.queries = queries_.load(std::memory_order_relaxed);
+        out.batches = batches_.load(std::memory_order_relaxed);
+        out.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
+        out.max_batch_observed = max_batch_.load(std::memory_order_relaxed);
+        out.snapshot_version = snapshot_version;
+        return out;
+    }
+
+private:
+    std::atomic<std::uint64_t> queries_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> swaps_{0};
+    std::atomic<std::uint64_t> max_batch_{0};
+};
+
+} // namespace uhd::serve
+
+#endif // UHD_SERVE_SERVE_STATS_HPP

@@ -1,0 +1,70 @@
+// The publication point of the RCU-style snapshot swap: one shared_ptr
+// slot, swapped by the single writer, copied by many readers.
+//
+// Semantics are those of std::atomic<std::shared_ptr<const
+// inference_snapshot>> — and that is deliberately NOT the implementation:
+// libstdc++'s _Sp_atomic guards its pointer word with a lock bit embedded
+// in the refcount pointer, a protocol ThreadSanitizer cannot model, so
+// every load/store pair reports a false-positive race and the concurrent
+// serving suites could never run under TSan (the CI job that guards this
+// subsystem). A plain mutex held for a pointer copy is fully
+// TSan-verifiable and costs nanoseconds.
+//
+// The concurrency contract still holds where it matters:
+// * load() holds the mutex only to copy the shared_ptr (one refcount
+//   increment) — never while answering queries. All inference runs on the
+//   immutable snapshot with no lock held, and the engine loads once per
+//   micro-batch, amortizing the copy over the whole batch.
+// * store() swaps the slot under the mutex and drops the previous
+//   snapshot's reference *outside* it, so freeing a large retired
+//   snapshot never stalls readers.
+// * Readers that copied the old pointer keep a valid immutable snapshot
+//   until they drop it — publication never invalidates in-flight work.
+#ifndef UHD_SERVE_SNAPSHOT_CELL_HPP
+#define UHD_SERVE_SNAPSHOT_CELL_HPP
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "uhd/hdc/inference_snapshot.hpp"
+
+namespace uhd::serve {
+
+/// Single-slot publication cell for immutable inference snapshots.
+class snapshot_cell {
+public:
+    snapshot_cell() = default;
+
+    explicit snapshot_cell(std::shared_ptr<const hdc::inference_snapshot> initial)
+        : ptr_(std::move(initial)) {}
+
+    snapshot_cell(const snapshot_cell&) = delete;
+    snapshot_cell& operator=(const snapshot_cell&) = delete;
+
+    /// Copy of the current snapshot pointer. The returned pointer pins the
+    /// snapshot: it stays valid however many newer ones are published.
+    [[nodiscard]] std::shared_ptr<const hdc::inference_snapshot> load() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return ptr_;
+    }
+
+    /// Publish `next`: one pointer swap under the mutex; the retired
+    /// snapshot's reference is dropped after the lock is released.
+    void store(std::shared_ptr<const hdc::inference_snapshot> next) {
+        std::shared_ptr<const hdc::inference_snapshot> retired;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            retired = std::exchange(ptr_, std::move(next));
+        }
+        // `retired` drops here, outside the critical section.
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::shared_ptr<const hdc::inference_snapshot> ptr_;
+};
+
+} // namespace uhd::serve
+
+#endif // UHD_SERVE_SNAPSHOT_CELL_HPP

@@ -1,0 +1,117 @@
+#include "uhd/serve/inference_engine.hpp"
+
+#include <utility>
+
+#include "uhd/common/error.hpp"
+
+namespace uhd::serve {
+
+inference_engine::inference_engine(hdc::inference_snapshot initial,
+                                   engine_options options)
+    : dim_(initial.dim()), classes_(initial.classes()), mode_(initial.mode()),
+      current_(std::make_shared<const hdc::inference_snapshot>(std::move(initial))),
+      queue_(options.queue_capacity),
+      max_batch_(options.max_batch == 0 ? 1 : options.max_batch) {
+    UHD_REQUIRE(dim_ >= 1, "engine needs a non-empty snapshot");
+    start_workers(options.workers);
+}
+
+inference_engine::inference_engine(hdc::inference_snapshot initial,
+                                   hdc::dynamic_query_policy policy,
+                                   engine_options options)
+    : dim_(initial.dim()), classes_(initial.classes()), mode_(initial.mode()),
+      current_(std::make_shared<const hdc::inference_snapshot>(std::move(initial))),
+      policy_(std::move(policy)), queue_(options.queue_capacity),
+      max_batch_(options.max_batch == 0 ? 1 : options.max_batch) {
+    UHD_REQUIRE(dim_ >= 1, "engine needs a non-empty snapshot");
+    // Policies are keyed on the row width; a mismatched one would fail on
+    // the first query — fail at construction instead.
+    UHD_REQUIRE(policy_->full_words() == current_.load()->words_per_class(),
+                "dynamic policy row width does not match the snapshot");
+    start_workers(options.workers);
+}
+
+inference_engine::~inference_engine() { stop(); }
+
+void inference_engine::start_workers(std::size_t workers) {
+    if (workers == 0) workers = 1;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+void inference_engine::publish(hdc::inference_snapshot next) {
+    UHD_REQUIRE(next.dim() == dim_ && next.classes() == classes_,
+                "published snapshot geometry mismatch");
+    UHD_REQUIRE(next.mode() == mode_, "published snapshot query-mode mismatch");
+    // The whole swap: one pointer store in the cell. Readers that already
+    // loaded the old snapshot keep it alive through their shared_ptr; the
+    // old state is freed when the last of them finishes.
+    current_.store(std::make_shared<const hdc::inference_snapshot>(std::move(next)));
+    counters_.record_swap();
+}
+
+std::shared_ptr<const hdc::inference_snapshot> inference_engine::current() const {
+    return current_.load();
+}
+
+std::future<std::size_t> inference_engine::submit(
+    std::vector<std::int32_t> encoded) {
+    UHD_REQUIRE(encoded.size() == dim_, "encoded query size mismatch");
+    UHD_REQUIRE(!stopped_.load(std::memory_order_acquire),
+                "submit() on a stopped engine");
+    request req;
+    req.encoded = std::move(encoded);
+    std::future<std::size_t> result = req.answer.get_future();
+    if (!queue_.push(std::move(req))) {
+        // Raced with stop(): the request never entered the queue.
+        throw uhd::error("submit() on a stopped engine");
+    }
+    return result;
+}
+
+std::size_t inference_engine::predict(std::span<const std::int32_t> encoded) {
+    return submit(std::vector<std::int32_t>(encoded.begin(), encoded.end())).get();
+}
+
+serve_stats inference_engine::stats() const {
+    return counters_.load(current_.load()->version());
+}
+
+void inference_engine::stop() {
+    stopped_.store(true, std::memory_order_release);
+    queue_.close();
+    // Serialize concurrent stop() callers (e.g. an explicit shutdown path
+    // racing the destructor): exactly one thread joins and clears the
+    // workers, any other blocks here until that is done.
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    for (std::thread& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+}
+
+void inference_engine::worker_loop() {
+    std::vector<request> batch;
+    while (queue_.pop_batch(batch, max_batch_) != 0) {
+        // One snapshot load per micro-batch: every request in the batch is
+        // answered from the same immutable state, concurrent publishes
+        // notwithstanding.
+        const std::shared_ptr<const hdc::inference_snapshot> snap = current_.load();
+        for (request& req : batch) {
+            try {
+                const std::size_t answer =
+                    policy_.has_value()
+                        ? snap->predict_dynamic_encoded(req.encoded, *policy_)
+                        : snap->predict_encoded(req.encoded);
+                req.answer.set_value(answer);
+            } catch (...) {
+                req.answer.set_exception(std::current_exception());
+            }
+        }
+        counters_.record_batch(batch.size());
+    }
+}
+
+} // namespace uhd::serve

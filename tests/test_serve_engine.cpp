@@ -1,0 +1,326 @@
+// Tests for the serve layer: the micro-batch request queue, engine
+// bit-identity with the direct snapshot read paths, stats accounting, and
+// concurrent clients racing an online trainer that publishes snapshots.
+// The concurrency suites are the ThreadSanitizer targets CI runs under
+// -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "uhd/common/error.hpp"
+#include "uhd/core/encoder.hpp"
+#include "uhd/data/synthetic.hpp"
+#include "uhd/hdc/classifier.hpp"
+#include "uhd/serve/inference_engine.hpp"
+#include "uhd/serve/request_queue.hpp"
+
+namespace {
+
+using namespace uhd;
+using namespace uhd::hdc;
+using serve::engine_options;
+using serve::inference_engine;
+using serve::micro_batch_queue;
+
+core::uhd_encoder make_encoder(const data::dataset& set, std::size_t dim = 512) {
+    core::uhd_config cfg;
+    cfg.dim = dim;
+    return core::uhd_encoder(cfg, set.shape());
+}
+
+std::vector<std::int32_t> encode_one(const core::uhd_encoder& enc,
+                                     const data::dataset& set, std::size_t i) {
+    std::vector<std::int32_t> out(enc.dim());
+    enc.encode(set.image(i), out);
+    return out;
+}
+
+// --- micro_batch_queue ----------------------------------------------------
+
+TEST(MicroBatchQueue, DrainsInBatchesUpToTheCap) {
+    micro_batch_queue<int> queue(64);
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(queue.push(i));
+    std::vector<int> batch;
+    EXPECT_EQ(queue.pop_batch(batch, 4), 4u);
+    EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(queue.pop_batch(batch, 100), 6u); // the rest, FIFO
+    EXPECT_EQ(batch.front(), 4);
+    EXPECT_EQ(batch.back(), 9);
+}
+
+TEST(MicroBatchQueue, CloseDrainsBacklogThenSignalsShutdown) {
+    micro_batch_queue<int> queue(8);
+    ASSERT_TRUE(queue.push(1));
+    ASSERT_TRUE(queue.push(2));
+    queue.close();
+    EXPECT_FALSE(queue.push(3)); // post-close pushes are refused
+    std::vector<int> batch;
+    EXPECT_EQ(queue.pop_batch(batch, 8), 2u); // backlog still served
+    EXPECT_EQ(queue.pop_batch(batch, 8), 0u); // then the exit signal
+}
+
+TEST(MicroBatchQueue, BlockedProducerUnblocksOnDrain) {
+    micro_batch_queue<int> queue(2);
+    ASSERT_TRUE(queue.push(1));
+    ASSERT_TRUE(queue.push(2));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        ASSERT_TRUE(queue.push(3)); // blocks until a slot frees
+        pushed.store(true);
+    });
+    std::vector<int> batch;
+    EXPECT_EQ(queue.pop_batch(batch, 1), 1u);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    queue.close();
+}
+
+TEST(MicroBatchQueue, BlockedProducerUnblocksOnClose) {
+    micro_batch_queue<int> queue(1);
+    ASSERT_TRUE(queue.push(1));
+    std::thread producer([&] {
+        EXPECT_FALSE(queue.push(2)); // full, then closed: refused
+    });
+    // Give the producer a moment to block, then close.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.close();
+    producer.join();
+}
+
+// --- inference_engine: identity and stats ---------------------------------
+
+TEST(InferenceEngine, AnswersMatchDirectSnapshotPredictions) {
+    const auto train = data::make_synthetic_digits(150, 71);
+    const auto test = data::make_synthetic_digits(80, 72);
+    const auto enc = make_encoder(train);
+    for (const query_mode qm : {query_mode::binarized, query_mode::integer}) {
+        hd_classifier<core::uhd_encoder> clf(enc, 10, train_mode::raw_sums, qm);
+        clf.fit(train);
+        engine_options opts;
+        opts.workers = 2;
+        opts.max_batch = 8;
+        inference_engine engine(clf.snapshot(), opts);
+        std::vector<std::future<std::size_t>> answers;
+        for (std::size_t i = 0; i < test.size(); ++i) {
+            answers.push_back(engine.submit(encode_one(enc, test, i)));
+        }
+        for (std::size_t i = 0; i < test.size(); ++i) {
+            EXPECT_EQ(answers[i].get(),
+                      clf.predict_encoded(encode_one(enc, test, i)))
+                << "mode=" << static_cast<int>(qm) << " query=" << i;
+        }
+    }
+}
+
+TEST(InferenceEngine, DynamicPolicyEngineMatchesPredictDynamic) {
+    const auto train = data::make_synthetic_digits(150, 73);
+    const auto test = data::make_synthetic_digits(60, 74);
+    const auto enc = make_encoder(train, 1024);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    const dynamic_query_policy policy = clf.calibrate_dynamic(train, 0.95);
+    inference_engine engine(clf.snapshot(), policy);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const auto encoded = encode_one(enc, test, i);
+        EXPECT_EQ(engine.predict(encoded),
+                  clf.predict_dynamic_encoded(encoded, policy));
+    }
+}
+
+TEST(InferenceEngine, DynamicPolicyOverIntegerSnapshotServesCascadeAnswers) {
+    // The documented mode/policy interaction: a policy-configured engine
+    // answers from the packed memory regardless of the snapshot's
+    // query_mode — exactly predict_dynamic's semantics, never a silent
+    // third behavior.
+    const auto train = data::make_synthetic_digits(150, 78);
+    const auto test = data::make_synthetic_digits(60, 79);
+    const auto enc = make_encoder(train, 1024);
+    hd_classifier<core::uhd_encoder> clf(enc, 10, train_mode::raw_sums,
+                                         query_mode::integer);
+    clf.fit(train);
+    const dynamic_query_policy policy = clf.calibrate_dynamic(train, 0.95);
+    inference_engine engine(clf.snapshot(), policy);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const auto encoded = encode_one(enc, test, i);
+        EXPECT_EQ(engine.predict(encoded),
+                  clf.predict_dynamic_encoded(encoded, policy));
+    }
+}
+
+TEST(InferenceEngine, StatsAccountForEveryQueryAndSwap) {
+    const auto train = data::make_synthetic_digits(100, 75);
+    const auto enc = make_encoder(train, 256);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    engine_options opts;
+    opts.workers = 2;
+    opts.max_batch = 4;
+    inference_engine engine(clf.snapshot(), opts);
+    const std::size_t queries = 50;
+    for (std::size_t i = 0; i < queries; ++i) {
+        (void)engine.predict(encode_one(enc, train, i % train.size()));
+    }
+    clf.partial_fit(train.image(0), train.label(0));
+    engine.publish(clf.snapshot());
+    engine.publish(clf.snapshot());
+    engine.stop(); // quiesce: counters are exact afterwards
+    const serve::serve_stats stats = engine.stats();
+    EXPECT_EQ(stats.queries, queries);
+    EXPECT_EQ(stats.snapshot_swaps, 2u);
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_LE(stats.batches, stats.queries);
+    EXPECT_GE(stats.max_batch_observed, 1u);
+    EXPECT_LE(stats.max_batch_observed, opts.max_batch);
+    EXPECT_EQ(stats.snapshot_version, clf.snapshot().version());
+}
+
+TEST(InferenceEngine, RejectsBadQueriesAndBadPublishes) {
+    const auto train = data::make_synthetic_digits(60, 76);
+    const auto enc = make_encoder(train, 256);
+    const auto enc_other = make_encoder(train, 512);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    inference_engine engine(clf.snapshot());
+    EXPECT_THROW((void)engine.submit(std::vector<std::int32_t>(100, 0)), uhd::error);
+    // Geometry and mode are pinned at construction.
+    hd_classifier<core::uhd_encoder> other(enc_other, 10);
+    other.fit(train);
+    EXPECT_THROW(engine.publish(other.snapshot()), uhd::error);
+    hd_classifier<core::uhd_encoder> integer_clf(enc, 10, train_mode::raw_sums,
+                                                 query_mode::integer);
+    integer_clf.fit(train);
+    EXPECT_THROW(engine.publish(integer_clf.snapshot()), uhd::error);
+    engine.stop();
+    EXPECT_THROW((void)engine.submit(encode_one(enc, train, 0)), uhd::error);
+}
+
+TEST(InferenceEngine, MismatchedDynamicPolicyFailsAtConstruction) {
+    const auto train = data::make_synthetic_digits(60, 77);
+    const auto enc = make_encoder(train, 256);
+    const auto enc_wide = make_encoder(train, 1024);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    hd_classifier<core::uhd_encoder> wide(enc_wide, 10);
+    clf.fit(train);
+    wide.fit(train);
+    const dynamic_query_policy wide_policy =
+        dynamic_query_policy::full_scan(wide.snapshot());
+    EXPECT_THROW(inference_engine(clf.snapshot(), wide_policy), uhd::error);
+}
+
+// --- concurrent serving while learning (the TSan targets) -----------------
+
+TEST(InferenceEngineConcurrent, ServesWhileTrainerPublishes) {
+    const auto base = data::make_synthetic_digits(100, 81);
+    const auto stream = data::make_synthetic_digits(200, 82);
+    const auto test = data::make_synthetic_digits(40, 83);
+    const auto enc = make_encoder(base);
+    hd_classifier<core::uhd_encoder> trainer(enc, 10, train_mode::raw_sums,
+                                             query_mode::binarized);
+    trainer.fit(base);
+    engine_options opts;
+    opts.workers = 2;
+    opts.max_batch = 8;
+    inference_engine engine(trainer.snapshot(), opts);
+
+    // Pre-encode the query pool so client threads do no encoder work.
+    std::vector<std::vector<std::int32_t>> pool;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        pool.push_back(encode_one(enc, test, i));
+    }
+
+    constexpr std::size_t clients = 3;
+    constexpr std::size_t per_client = 150;
+    std::atomic<std::size_t> bad_answers{0};
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        client_threads.emplace_back([&, c] {
+            for (std::size_t q = 0; q < per_client; ++q) {
+                const std::size_t answer =
+                    engine.predict(pool[(c + q) % pool.size()]);
+                if (answer >= 10) bad_answers.fetch_add(1);
+            }
+        });
+    }
+    // The trainer thread: online updates + a publish every few of them,
+    // racing the clients the whole time.
+    std::thread trainer_thread([&] {
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            trainer.partial_fit(stream.image(i), stream.label(i));
+            if (i % 10 == 9) engine.publish(trainer.snapshot());
+        }
+        engine.publish(trainer.snapshot());
+    });
+    for (auto& t : client_threads) t.join();
+    trainer_thread.join();
+    EXPECT_EQ(bad_answers.load(), 0u);
+
+    // Quiesced: the engine now serves the trainer's final state and must
+    // answer exactly like the classifier it was trained alongside.
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        EXPECT_EQ(engine.predict(pool[i]), trainer.predict_encoded(pool[i]));
+    }
+    const serve::serve_stats stats = engine.stats();
+    EXPECT_GE(stats.queries, clients * per_client);
+    EXPECT_EQ(stats.snapshot_swaps, stream.size() / 10 + 1);
+    EXPECT_EQ(stats.snapshot_version, trainer.snapshot().version());
+}
+
+TEST(InferenceEngineConcurrent, ReadersPinTheSnapshotTheyHold) {
+    const auto base = data::make_synthetic_digits(80, 84);
+    const auto enc = make_encoder(base, 256);
+    hd_classifier<core::uhd_encoder> trainer(enc, 10);
+    trainer.fit(base);
+    inference_engine engine(trainer.snapshot());
+    const std::shared_ptr<const inference_snapshot> pinned = engine.current();
+    const auto query = encode_one(enc, base, 0);
+    const std::size_t before = pinned->predict_encoded(query);
+    // Publish a stream of new snapshots; the pinned one must not move.
+    for (std::size_t i = 0; i < 50; ++i) {
+        trainer.partial_fit(base.image(i % base.size()),
+                            base.label(i % base.size()));
+        engine.publish(trainer.snapshot());
+        EXPECT_EQ(pinned->predict_encoded(query), before);
+    }
+    EXPECT_EQ(engine.current()->version(), trainer.snapshot().version());
+    EXPECT_GT(engine.current()->version(), pinned->version());
+}
+
+TEST(InferenceEngineConcurrent, StopWithConcurrentSubmittersIsClean) {
+    const auto base = data::make_synthetic_digits(60, 85);
+    const auto enc = make_encoder(base, 256);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(base);
+    engine_options opts;
+    opts.workers = 2;
+    opts.max_batch = 4;
+    opts.queue_capacity = 16;
+    inference_engine engine(clf.snapshot(), opts);
+    const auto query = encode_one(enc, base, 0);
+    std::atomic<std::size_t> served{0};
+    std::atomic<std::size_t> refused{0};
+    std::vector<std::thread> submitters;
+    for (std::size_t c = 0; c < 3; ++c) {
+        submitters.emplace_back([&] {
+            for (std::size_t q = 0; q < 200; ++q) {
+                try {
+                    (void)engine.predict(query);
+                    served.fetch_add(1);
+                } catch (const uhd::error&) {
+                    refused.fetch_add(1); // raced stop(): refused up front
+                }
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    engine.stop();
+    for (auto& t : submitters) t.join();
+    // Every request was either served or cleanly refused — no hangs, no
+    // broken futures.
+    EXPECT_EQ(served.load() + refused.load(), 3u * 200u);
+}
+
+} // namespace
