@@ -178,11 +178,12 @@ int main() {
                                  static_cast<double>(stats.batches);
 
     std::printf("# %.0f queries/s, p50 %.1f us, p99 %.1f us, %llu swaps, "
-                "avg batch %.2f (max %llu), %zu mismatches\n",
+                "avg batch %.2f (max %llu), block utilization %.2f, "
+                "%zu mismatches\n",
                 throughput, p50, p99,
                 static_cast<unsigned long long>(stats.snapshot_swaps), avg_batch,
                 static_cast<unsigned long long>(stats.max_batch_observed),
-                mismatches);
+                stats.block_utilization(), mismatches);
 
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -191,7 +192,7 @@ int main() {
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"serve\",\n");
-    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
     std::fprintf(f,
                  "  \"workload\": {\"dim\": %zu, \"classes\": %zu, "
                  "\"clients\": %zu, \"queries_per_client\": %zu, "
@@ -210,6 +211,14 @@ int main() {
                  static_cast<unsigned long long>(stats.snapshot_swaps),
                  static_cast<unsigned long long>(stats.batches), avg_batch,
                  static_cast<unsigned long long>(stats.max_batch_observed));
+    // Schema v2: block-drain accounting. kernel_calls counts distance-engine
+    // drain calls (1 per micro-batch on the block path); utilization =
+    // queries / kernel_calls is the average number of requests each
+    // query-GEMM kernel call answered.
+    std::fprintf(f,
+                 "    \"kernel_calls\": %llu, \"block_utilization\": %.2f,\n",
+                 static_cast<unsigned long long>(stats.kernel_calls),
+                 stats.block_utilization());
     std::fprintf(f, "    \"final_matches_trainer\": %s},\n",
                  mismatches == 0 ? "true" : "false");
     std::fprintf(f, "  \"gates\": {\"throughput_positive\": %s, "

@@ -36,11 +36,17 @@ cpu_features probe_cpu_features() noexcept {
         f.osxsave = (ecx & (1u << 27)) != 0;
     }
     if (f.osxsave) {
+        const std::uint64_t state = xcr0();
         // Bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be OS-enabled.
-        f.ymm_state = (xcr0() & 0x6u) == 0x6u;
+        f.ymm_state = (state & 0x6u) == 0x6u;
+        // ZMM adds bits 5 (opmask), 6 (ZMM0-15 high halves), 7 (ZMM16-31).
+        f.zmm_state = (state & 0xE6u) == 0xE6u;
     }
     if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
         f.avx2 = (ebx & (1u << 5)) != 0;
+        f.avx512f = (ebx & (1u << 16)) != 0;
+        f.avx512bw = (ebx & (1u << 30)) != 0;
+        f.avx512vpopcntdq = (ecx & (1u << 14)) != 0;
     }
 #endif
     return f;
@@ -60,6 +66,10 @@ std::string cpu_features::to_string() const {
     if (osxsave) out += " osxsave";
     if (ymm_state) out += " ymm";
     if (avx2) out += " avx2";
+    if (zmm_state) out += " zmm";
+    if (avx512f) out += " avx512f";
+    if (avx512bw) out += " avx512bw";
+    if (avx512vpopcntdq) out += " avx512vpopcntdq";
     return out;
 }
 

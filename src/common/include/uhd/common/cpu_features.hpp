@@ -24,14 +24,26 @@ struct cpu_features {
     bool osxsave = false;  ///< cpuid.1:ECX[27] — OS uses XSAVE/XRSTOR
     bool ymm_state = false;///< XGETBV(0) bits 1-2 — OS saves XMM+YMM state
     bool avx2 = false;     ///< cpuid.7.0:EBX[5]
+    bool zmm_state = false;///< XGETBV(0) bits 5-7 (+1-2) — OS saves ZMM state
+    bool avx512f = false;  ///< cpuid.7.0:EBX[16]
+    bool avx512bw = false; ///< cpuid.7.0:EBX[30]
+    bool avx512vpopcntdq = false; ///< cpuid.7.0:ECX[14]
 
     /// True when AVX2 kernels may run: CPU support plus OS YMM enablement.
     [[nodiscard]] bool avx2_usable() const noexcept {
         return avx2 && avx && osxsave && ymm_state;
     }
 
+    /// True when the AVX-512 kernels may run: the foundation + byte/word
+    /// instruction sets plus OS ZMM enablement. VPOPCNTDQ is deliberately
+    /// not required — the avx512 backend selects its popcount path at
+    /// runtime, so it stays admissible on F/BW-only parts.
+    [[nodiscard]] bool avx512_usable() const noexcept {
+        return avx512f && avx512bw && osxsave && zmm_state;
+    }
+
     /// Space-separated probe summary, e.g. "x86-64 sse2 popcnt avx osxsave
-    /// ymm avx2"; "non-x86" on other architectures.
+    /// ymm avx2 zmm avx512f avx512bw"; "non-x86" on other architectures.
     [[nodiscard]] std::string to_string() const;
 };
 

@@ -10,18 +10,24 @@
 //   * avx2   — 256-bit kernels (kernels_avx2.cpp, compiled with a per-file
 //     -mavx2 so generic builds still carry it); admissible only when the
 //     runtime cpu_features probe reports CPU *and* OS AVX2 support.
+//   * avx512 — 512-bit kernels (kernels_avx512.cpp, per-file -mavx512f
+//     -mavx512bw); admissible only when the probe reports AVX-512F +
+//     AVX-512BW *and* the OS saves ZMM state (XCR0). Carries two popcount
+//     flavors (nibble-LUT and VPOPCNTDQ) and picks per process at runtime.
 //
 // One table is selected per process on first use: the widest admissible
-// backend, overridable with UHD_BACKEND=auto|scalar|swar|avx2. An override
-// naming an unknown backend, or forcing one the probe rejects, throws a
-// uhd::error with a diagnostic listing the valid choices — it never
-// silently falls back and never executes unsupported instructions.
+// backend, overridable with UHD_BACKEND=auto|scalar|swar|avx2|avx512. An
+// override naming an unknown backend, or forcing one the probe rejects,
+// throws a uhd::error with a diagnostic listing the admissible choices —
+// it never silently falls back and never executes unsupported
+// instructions.
 //
 // Every backend is bit-exact against the scalar reference for the integer
 // kernels, and runs the identical fixed-lane-order algorithm for the
 // double reductions, so results are bit-identical across backends; the
 // per-backend equivalence suites (tests/test_simd_kernels.cpp,
-// tests/test_backend_dispatch.cpp) enforce this.
+// tests/test_block_kernels.cpp, tests/test_backend_dispatch.cpp) enforce
+// this.
 #ifndef UHD_COMMON_KERNELS_HPP
 #define UHD_COMMON_KERNELS_HPP
 
@@ -50,7 +56,8 @@ struct argmin2_result {
 /// kernel set as plain function pointers. Tables are immutable process-wide
 /// constants defined by the per-ISA translation units.
 struct kernel_table {
-    /// Backend name as accepted by UHD_BACKEND ("scalar", "swar", "avx2").
+    /// Backend name as accepted by UHD_BACKEND ("scalar", "swar", "avx2",
+    /// "avx512").
     const char* name;
 
     /// True when this backend may run on the probed CPU.
@@ -98,6 +105,34 @@ struct kernel_table {
                                  const std::uint64_t* rows, std::size_t row_words,
                                  std::size_t from_word, std::size_t to_word,
                                  std::size_t n_rows, std::uint64_t* distances);
+
+    /// Query-block window extension — the bitwise-GEMM tile kernel:
+    /// distances[q * n_rows + r] += popcount(query_q ^ row_r) over words
+    /// [from_word, to_word), for every q in [0, n_queries) and r in
+    /// [0, n_rows). `queries` holds n_queries packed queries back-to-back,
+    /// `query_words` words each (>= to_word). Wide backends register-block
+    /// the (query, row) plane so each class row is streamed once per query
+    /// tile instead of once per query; the accumulated distances are exact
+    /// integers, bit-identical to per-query hamming_extend_words calls.
+    void (*hamming_block_extend)(const std::uint64_t* queries,
+                                 std::size_t query_words, std::size_t n_queries,
+                                 const std::uint64_t* rows, std::size_t row_words,
+                                 std::size_t from_word, std::size_t to_word,
+                                 std::size_t n_rows, std::uint64_t* distances);
+
+    /// Fused query-block argmin + runner-up over the first `prefix_words`
+    /// of every row: results[q] is exactly hamming_argmin2_prefix(query_q)
+    /// (first-wins ties, all-ones runner-up when n_rows < 2), computed with
+    /// the same row-streaming tile as hamming_block_extend but without
+    /// materializing the queries x rows distance matrix.
+    void (*hamming_block_argmin2_prefix)(const std::uint64_t* queries,
+                                         std::size_t query_words,
+                                         std::size_t n_queries,
+                                         const std::uint64_t* rows,
+                                         std::size_t row_words,
+                                         std::size_t prefix_words,
+                                         std::size_t n_rows,
+                                         argmin2_result* results);
 
     /// Sum of squares of an int32 span (fixed 4-lane double accumulation).
     double (*sum_squares_i32)(const std::int32_t* v, std::size_t n);
@@ -193,6 +228,23 @@ inline void hamming_extend_words(const std::uint64_t* query,
                                  std::size_t n_rows, std::uint64_t* distances) {
     active().hamming_extend_words(query, rows, row_words, from_word, to_word,
                                   n_rows, distances);
+}
+
+inline void hamming_block_extend(const std::uint64_t* queries,
+                                 std::size_t query_words, std::size_t n_queries,
+                                 const std::uint64_t* rows, std::size_t row_words,
+                                 std::size_t from_word, std::size_t to_word,
+                                 std::size_t n_rows, std::uint64_t* distances) {
+    active().hamming_block_extend(queries, query_words, n_queries, rows, row_words,
+                                  from_word, to_word, n_rows, distances);
+}
+
+inline void hamming_block_argmin2_prefix(
+    const std::uint64_t* queries, std::size_t query_words, std::size_t n_queries,
+    const std::uint64_t* rows, std::size_t row_words, std::size_t prefix_words,
+    std::size_t n_rows, argmin2_result* results) {
+    active().hamming_block_argmin2_prefix(queries, query_words, n_queries, rows,
+                                          row_words, prefix_words, n_rows, results);
 }
 
 [[nodiscard]] inline double sum_squares_i32(const std::int32_t* v, std::size_t n) {

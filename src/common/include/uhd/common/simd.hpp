@@ -400,6 +400,185 @@ inline void hamming_extend_words_portable(
     }
 }
 
+// --- query-block Hamming kernels (multi-query bitwise GEMM) ---------------
+//
+// A block of packed queries against the whole row-major memory in one call:
+// the queries x rows distance plane is tiled (4 queries x 2 rows per inner
+// tile here; the wide backends use the same shape over vector words) so
+// each class row is streamed from memory once per query *tile* instead of
+// once per query. Distances are exact integer popcounts, so any tile order
+// is bit-identical to per-query scans; the fused argmin2 variant applies
+// row updates in ascending row order per query, preserving the first-wins
+// tie rule of the single-query kernels.
+
+/// Pinned scalar oracle for the query-block window extension.
+UHD_SCALAR_REFERENCE inline void hamming_block_extend_reference(
+    const std::uint64_t* queries, std::size_t query_words, std::size_t n_queries,
+    const std::uint64_t* rows, std::size_t row_words, std::size_t from_word,
+    std::size_t to_word, std::size_t n_rows, std::uint64_t* distances) noexcept {
+    for (std::size_t q = 0; q < n_queries; ++q) {
+        const std::uint64_t* query = queries + q * query_words;
+        for (std::size_t row = 0; row < n_rows; ++row) {
+            std::uint64_t distance = 0;
+            UHD_NOVECTOR_LOOP
+            for (std::size_t w = from_word; w < to_word; ++w) {
+                distance += static_cast<std::uint64_t>(
+                    std::popcount(query[w] ^ rows[row * row_words + w]));
+            }
+            distances[q * n_rows + row] += distance;
+        }
+    }
+}
+
+/// Pinned scalar oracle for the fused query-block argmin + runner-up.
+UHD_SCALAR_REFERENCE inline void hamming_block_argmin2_prefix_reference(
+    const std::uint64_t* queries, std::size_t query_words, std::size_t n_queries,
+    const std::uint64_t* rows, std::size_t row_words, std::size_t prefix_words,
+    std::size_t n_rows, argmin2_result* results) noexcept {
+    for (std::size_t q = 0; q < n_queries; ++q) {
+        const std::uint64_t* query = queries + q * query_words;
+        argmin2_result r{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
+        for (std::size_t row = 0; row < n_rows; ++row) {
+            std::uint64_t distance = 0;
+            UHD_NOVECTOR_LOOP
+            for (std::size_t w = 0; w < prefix_words; ++w) {
+                distance += static_cast<std::uint64_t>(
+                    std::popcount(query[w] ^ rows[row * row_words + w]));
+            }
+            if (distance < r.distance) {
+                r.runner_up = r.distance;
+                r.distance = distance;
+                r.index = row;
+            } else if (distance < r.runner_up) {
+                r.runner_up = distance;
+            }
+        }
+        results[q] = r;
+    }
+}
+
+/// Register-blocked portable tile: distances over [from_word, to_word) for
+/// a full 4-query x 2-row tile, eight u64 accumulators live across the one
+/// pass over the two rows' window words.
+inline void hamming_block_tile_4x2(const std::uint64_t* q0, const std::uint64_t* q1,
+                                   const std::uint64_t* q2, const std::uint64_t* q3,
+                                   const std::uint64_t* r0, const std::uint64_t* r1,
+                                   std::size_t from_word, std::size_t to_word,
+                                   std::uint64_t d[4][2]) noexcept {
+    std::uint64_t a0 = 0, a1 = 0, b0 = 0, b1 = 0;
+    std::uint64_t c0 = 0, c1 = 0, e0 = 0, e1 = 0;
+    for (std::size_t w = from_word; w < to_word; ++w) {
+        const std::uint64_t rw0 = r0[w];
+        const std::uint64_t rw1 = r1[w];
+        a0 += static_cast<std::uint64_t>(std::popcount(q0[w] ^ rw0));
+        a1 += static_cast<std::uint64_t>(std::popcount(q0[w] ^ rw1));
+        b0 += static_cast<std::uint64_t>(std::popcount(q1[w] ^ rw0));
+        b1 += static_cast<std::uint64_t>(std::popcount(q1[w] ^ rw1));
+        c0 += static_cast<std::uint64_t>(std::popcount(q2[w] ^ rw0));
+        c1 += static_cast<std::uint64_t>(std::popcount(q2[w] ^ rw1));
+        e0 += static_cast<std::uint64_t>(std::popcount(q3[w] ^ rw0));
+        e1 += static_cast<std::uint64_t>(std::popcount(q3[w] ^ rw1));
+    }
+    d[0][0] = a0; d[0][1] = a1;
+    d[1][0] = b0; d[1][1] = b1;
+    d[2][0] = c0; d[2][1] = c1;
+    d[3][0] = e0; d[3][1] = e1;
+}
+
+/// Portable register-blocked query-block window extension (4 queries x
+/// 2 rows per inner tile; ragged edges fall back to per-pair reductions).
+inline void hamming_block_extend_portable(
+    const std::uint64_t* queries, std::size_t query_words, std::size_t n_queries,
+    const std::uint64_t* rows, std::size_t row_words, std::size_t from_word,
+    std::size_t to_word, std::size_t n_rows, std::uint64_t* distances) noexcept {
+    const std::size_t span = to_word - from_word;
+    std::size_t q = 0;
+    for (; q + 4 <= n_queries; q += 4) {
+        const std::uint64_t* q0 = queries + (q + 0) * query_words;
+        const std::uint64_t* q1 = queries + (q + 1) * query_words;
+        const std::uint64_t* q2 = queries + (q + 2) * query_words;
+        const std::uint64_t* q3 = queries + (q + 3) * query_words;
+        std::size_t row = 0;
+        for (; row + 2 <= n_rows; row += 2) {
+            std::uint64_t d[4][2];
+            hamming_block_tile_4x2(q0, q1, q2, q3, rows + row * row_words,
+                                   rows + (row + 1) * row_words, from_word, to_word,
+                                   d);
+            for (std::size_t qi = 0; qi < 4; ++qi) {
+                distances[(q + qi) * n_rows + row] += d[qi][0];
+                distances[(q + qi) * n_rows + row + 1] += d[qi][1];
+            }
+        }
+        for (; row < n_rows; ++row) {
+            const std::uint64_t* r0 = rows + row * row_words + from_word;
+            distances[(q + 0) * n_rows + row] += xor_popcount_words(q0 + from_word, r0, span);
+            distances[(q + 1) * n_rows + row] += xor_popcount_words(q1 + from_word, r0, span);
+            distances[(q + 2) * n_rows + row] += xor_popcount_words(q2 + from_word, r0, span);
+            distances[(q + 3) * n_rows + row] += xor_popcount_words(q3 + from_word, r0, span);
+        }
+    }
+    for (; q < n_queries; ++q) {
+        const std::uint64_t* query = queries + q * query_words;
+        for (std::size_t row = 0; row < n_rows; ++row) {
+            distances[q * n_rows + row] += xor_popcount_words(
+                query + from_word, rows + row * row_words + from_word, span);
+        }
+    }
+}
+
+/// argmin2 update for one (row, distance) observation — rows must be fed in
+/// ascending order per query to preserve the first-wins tie rule.
+inline void argmin2_update(argmin2_result& r, std::size_t row,
+                           std::uint64_t distance) noexcept {
+    if (distance < r.distance) {
+        r.runner_up = r.distance;
+        r.distance = distance;
+        r.index = row;
+    } else if (distance < r.runner_up) {
+        r.runner_up = distance;
+    }
+}
+
+/// Portable fused query-block argmin + runner-up (same 4x2 tiling as the
+/// window extension; per-query argmin2 state updated in ascending row
+/// order, so the result is bit-identical to per-query prefix scans).
+inline void hamming_block_argmin2_prefix_portable(
+    const std::uint64_t* queries, std::size_t query_words, std::size_t n_queries,
+    const std::uint64_t* rows, std::size_t row_words, std::size_t prefix_words,
+    std::size_t n_rows, argmin2_result* results) noexcept {
+    for (std::size_t q = 0; q < n_queries; ++q) {
+        results[q] = argmin2_result{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
+    }
+    std::size_t q = 0;
+    for (; q + 4 <= n_queries; q += 4) {
+        const std::uint64_t* q0 = queries + (q + 0) * query_words;
+        const std::uint64_t* q1 = queries + (q + 1) * query_words;
+        const std::uint64_t* q2 = queries + (q + 2) * query_words;
+        const std::uint64_t* q3 = queries + (q + 3) * query_words;
+        std::size_t row = 0;
+        for (; row + 2 <= n_rows; row += 2) {
+            std::uint64_t d[4][2];
+            hamming_block_tile_4x2(q0, q1, q2, q3, rows + row * row_words,
+                                   rows + (row + 1) * row_words, 0, prefix_words, d);
+            for (std::size_t qi = 0; qi < 4; ++qi) {
+                argmin2_update(results[q + qi], row, d[qi][0]);
+                argmin2_update(results[q + qi], row + 1, d[qi][1]);
+            }
+        }
+        for (; row < n_rows; ++row) {
+            const std::uint64_t* r0 = rows + row * row_words;
+            argmin2_update(results[q + 0], row, xor_popcount_words(q0, r0, prefix_words));
+            argmin2_update(results[q + 1], row, xor_popcount_words(q1, r0, prefix_words));
+            argmin2_update(results[q + 2], row, xor_popcount_words(q2, r0, prefix_words));
+            argmin2_update(results[q + 3], row, xor_popcount_words(q3, r0, prefix_words));
+        }
+    }
+    for (; q < n_queries; ++q) {
+        results[q] = hamming_argmin2_prefix_words(queries + q * query_words, rows,
+                                                  row_words, prefix_words, n_rows);
+    }
+}
+
 // --- blocked int32 dot-product kernels (integer-cosine inference) ---------
 //
 // Each product is computed exactly in int64 (|a|,|b| <= 2^31 so the product

@@ -29,6 +29,9 @@ const kernel_table* const registry[] = {
 #ifdef UHD_KERNELS_HAVE_AVX2
     &detail::avx2_table(),
 #endif
+#ifdef UHD_KERNELS_HAVE_AVX512
+    &detail::avx512_table(),
+#endif
 };
 
 std::atomic<const kernel_table*> g_active{nullptr};
@@ -37,6 +40,18 @@ std::atomic<const kernel_table*> g_active{nullptr};
     std::string names = "auto";
     for (const kernel_table* t : registry) {
         names += ", ";
+        names += t->name;
+    }
+    return names;
+}
+
+/// The compiled-in backends a given probe admits, e.g. "scalar, swar, avx2"
+/// — the actionable half of the inadmissible-backend diagnostic.
+[[nodiscard]] std::string admissible_names(const cpu_features& features) {
+    std::string names;
+    for (const kernel_table* t : registry) {
+        if (!t->supported(features)) continue;
+        if (!names.empty()) names += ", ";
         names += t->name;
     }
     return names;
@@ -91,8 +106,9 @@ const kernel_table& select_backend(std::string_view request,
     UHD_REQUIRE(t->supported(features),
                 "UHD_BACKEND='" + std::string(request) +
                     "' was requested but the CPU probe rejects it (probed: " +
-                    features.to_string() +
-                    "); use UHD_BACKEND=auto or a narrower backend");
+                    features.to_string() + "; admissible backends: " +
+                    admissible_names(features) +
+                    "); use UHD_BACKEND=auto or an admissible backend");
     return *t;
 }
 

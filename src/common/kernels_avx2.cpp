@@ -231,6 +231,147 @@ void hamming_extend_words(const std::uint64_t* query, const std::uint64_t* rows,
     }
 }
 
+// --- query-block Hamming kernels ------------------------------------------
+
+/// One nibble-LUT popcount step: per-64-lane bit counts of a 256-bit word.
+__m256i popcount256(__m256i x, __m256i lut, __m256i low_nibble) {
+    const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(x, low_nibble));
+    const __m256i hi = _mm256_shuffle_epi8(
+        lut, _mm256_and_si256(_mm256_srli_epi32(x, 4), low_nibble));
+    return _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256());
+}
+
+/// Register-blocked tile: XOR-popcount distances over words [from_word,
+/// to_word) for a full 4-query x 2-row tile. Eight ymm accumulators live
+/// across one pass over the two rows, 4 words (256 bits) per step; word
+/// tails finish with scalar popcounts. Each row word is loaded once per
+/// query tile — the cache-blocking the block kernels exist for.
+void block_tile_4x2(const std::uint64_t* const q[4], const std::uint64_t* r0,
+                    const std::uint64_t* r1, std::size_t from_word,
+                    std::size_t to_word, std::uint64_t d[4][2]) {
+    const __m256i low_nibble = _mm256_set1_epi8(0x0F);
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2,
+                         1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    __m256i acc[4][2];
+    for (int qi = 0; qi < 4; ++qi) {
+        acc[qi][0] = _mm256_setzero_si256();
+        acc[qi][1] = _mm256_setzero_si256();
+    }
+    std::size_t w = from_word;
+    for (; w + 4 <= to_word; w += 4) {
+        const __m256i r0v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r0 + w));
+        const __m256i r1v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r1 + w));
+        for (int qi = 0; qi < 4; ++qi) {
+            const __m256i qv =
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q[qi] + w));
+            acc[qi][0] = _mm256_add_epi64(
+                acc[qi][0], popcount256(_mm256_xor_si256(qv, r0v), lut, low_nibble));
+            acc[qi][1] = _mm256_add_epi64(
+                acc[qi][1], popcount256(_mm256_xor_si256(qv, r1v), lut, low_nibble));
+        }
+    }
+    for (int qi = 0; qi < 4; ++qi) {
+        for (int ri = 0; ri < 2; ++ri) {
+            alignas(32) std::uint64_t lanes[4];
+            _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc[qi][ri]);
+            d[qi][ri] = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        }
+        for (std::size_t ww = w; ww < to_word; ++ww) {
+            d[qi][0] += static_cast<std::uint64_t>(std::popcount(q[qi][ww] ^ r0[ww]));
+            d[qi][1] += static_cast<std::uint64_t>(std::popcount(q[qi][ww] ^ r1[ww]));
+        }
+    }
+}
+
+void hamming_block_extend(const std::uint64_t* queries, std::size_t query_words,
+                          std::size_t n_queries, const std::uint64_t* rows,
+                          std::size_t row_words, std::size_t from_word,
+                          std::size_t to_word, std::size_t n_rows,
+                          std::uint64_t* distances) {
+    const std::size_t span = to_word - from_word;
+    std::size_t q = 0;
+    for (; q + 4 <= n_queries; q += 4) {
+        const std::uint64_t* qp[4] = {
+            queries + (q + 0) * query_words, queries + (q + 1) * query_words,
+            queries + (q + 2) * query_words, queries + (q + 3) * query_words};
+        std::size_t row = 0;
+        for (; row + 2 <= n_rows; row += 2) {
+            std::uint64_t d[4][2];
+            block_tile_4x2(qp, rows + row * row_words, rows + (row + 1) * row_words,
+                           from_word, to_word, d);
+            for (std::size_t qi = 0; qi < 4; ++qi) {
+                distances[(q + qi) * n_rows + row] += d[qi][0];
+                distances[(q + qi) * n_rows + row + 1] += d[qi][1];
+            }
+        }
+        for (; row < n_rows; ++row) {
+            const std::uint64_t* r0 = rows + row * row_words + from_word;
+            for (std::size_t qi = 0; qi < 4; ++qi) {
+                distances[(q + qi) * n_rows + row] +=
+                    hamming_distance_words(qp[qi] + from_word, r0, span);
+            }
+        }
+    }
+    for (; q < n_queries; ++q) {
+        const std::uint64_t* query = queries + q * query_words;
+        for (std::size_t row = 0; row < n_rows; ++row) {
+            distances[q * n_rows + row] += hamming_distance_words(
+                query + from_word, rows + row * row_words + from_word, span);
+        }
+    }
+}
+
+/// argmin2 update (rows fed in ascending order keep the first-wins rule).
+void argmin2_update(argmin2_result& r, std::size_t row, std::uint64_t distance) {
+    if (distance < r.distance) {
+        r.runner_up = r.distance;
+        r.distance = distance;
+        r.index = row;
+    } else if (distance < r.runner_up) {
+        r.runner_up = distance;
+    }
+}
+
+void hamming_block_argmin2_prefix(const std::uint64_t* queries,
+                                  std::size_t query_words, std::size_t n_queries,
+                                  const std::uint64_t* rows, std::size_t row_words,
+                                  std::size_t prefix_words, std::size_t n_rows,
+                                  argmin2_result* results) {
+    for (std::size_t q = 0; q < n_queries; ++q) {
+        results[q] = argmin2_result{0, ~std::uint64_t{0}, ~std::uint64_t{0}};
+    }
+    std::size_t q = 0;
+    for (; q + 4 <= n_queries; q += 4) {
+        const std::uint64_t* qp[4] = {
+            queries + (q + 0) * query_words, queries + (q + 1) * query_words,
+            queries + (q + 2) * query_words, queries + (q + 3) * query_words};
+        std::size_t row = 0;
+        for (; row + 2 <= n_rows; row += 2) {
+            std::uint64_t d[4][2];
+            block_tile_4x2(qp, rows + row * row_words, rows + (row + 1) * row_words,
+                           0, prefix_words, d);
+            for (std::size_t qi = 0; qi < 4; ++qi) {
+                argmin2_update(results[q + qi], row, d[qi][0]);
+                argmin2_update(results[q + qi], row + 1, d[qi][1]);
+            }
+        }
+        for (; row < n_rows; ++row) {
+            const std::uint64_t* r0 = rows + row * row_words;
+            for (std::size_t qi = 0; qi < 4; ++qi) {
+                argmin2_update(results[q + qi], row,
+                               hamming_distance_words(qp[qi], r0, prefix_words));
+            }
+        }
+    }
+    for (; q < n_queries; ++q) {
+        results[q] = hamming_argmin2_prefix(queries + q * query_words, rows,
+                                            row_words, prefix_words, n_rows);
+    }
+}
+
 // --- blocked int32 dot kernels --------------------------------------------
 //
 // Identical fixed 4-lane algorithm as the portable bodies (simd.hpp): the
@@ -289,6 +430,8 @@ constexpr kernel_table table{
     sign_binarize,     hamming_distance_words,
     hamming_argmin,    hamming_argmin2_prefix,
     hamming_extend_words,
+    hamming_block_extend,
+    hamming_block_argmin2_prefix,
     sum_squares_i32,   dot_i32,
     masked_sum_i32,
 };

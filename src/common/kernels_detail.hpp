@@ -19,6 +19,12 @@ namespace uhd::kernels::detail {
 [[nodiscard]] const kernel_table& avx2_table() noexcept;
 #endif
 
+#ifdef UHD_KERNELS_HAVE_AVX512
+/// 512-bit backend (TU compiled with -mavx512f -mavx512bw; runtime-probe
+/// gated, VPOPCNTDQ selected inside the TU when the probe reports it).
+[[nodiscard]] const kernel_table& avx512_table() noexcept;
+#endif
+
 } // namespace uhd::kernels::detail
 
 #endif // UHD_COMMON_KERNELS_DETAIL_HPP

@@ -72,6 +72,26 @@ void hamming_extend_words(const std::uint64_t* query, const std::uint64_t* rows,
                                          n_rows, distances);
 }
 
+void hamming_block_extend(const std::uint64_t* queries, std::size_t query_words,
+                          std::size_t n_queries, const std::uint64_t* rows,
+                          std::size_t row_words, std::size_t from_word,
+                          std::size_t to_word, std::size_t n_rows,
+                          std::uint64_t* distances) {
+    simd::hamming_block_extend_reference(queries, query_words, n_queries, rows,
+                                         row_words, from_word, to_word, n_rows,
+                                         distances);
+}
+
+void hamming_block_argmin2_prefix(const std::uint64_t* queries,
+                                  std::size_t query_words, std::size_t n_queries,
+                                  const std::uint64_t* rows, std::size_t row_words,
+                                  std::size_t prefix_words, std::size_t n_rows,
+                                  argmin2_result* results) {
+    simd::hamming_block_argmin2_prefix_reference(queries, query_words, n_queries,
+                                                 rows, row_words, prefix_words,
+                                                 n_rows, results);
+}
+
 double sum_squares_i32(const std::int32_t* v, std::size_t n) {
     return simd::sum_squares_i32(v, n);
 }
@@ -91,6 +111,8 @@ constexpr kernel_table table{
     sign_binarize,     hamming_distance_words,
     hamming_argmin,    hamming_argmin2_prefix,
     hamming_extend_words,
+    hamming_block_extend,
+    hamming_block_argmin2_prefix,
     sum_squares_i32,   dot_i32,
     masked_sum_i32,
 };

@@ -34,6 +34,26 @@ std::size_t class_memory::nearest(std::span<const std::uint64_t> query_words,
                                    distance_out);
 }
 
+void class_memory::nearest_block(std::span<const std::uint64_t> queries_words,
+                                 std::size_t n_queries, std::span<std::size_t> out,
+                                 std::uint64_t* distances_out) const {
+    UHD_REQUIRE(classes_ >= 1, "nearest_block() on an empty class memory");
+    UHD_REQUIRE(queries_words.size() == n_queries * words_,
+                "query block word count mismatch");
+    UHD_REQUIRE(out.size() == n_queries, "prediction buffer size mismatch");
+    if (n_queries == 0) return;
+    // Per-thread scratch: one argmin2 slot per query in the block.
+    static thread_local std::vector<kernels::argmin2_result> results;
+    results.resize(n_queries);
+    kernels::hamming_block_argmin2_prefix(queries_words.data(), words_, n_queries,
+                                          rows_.data(), words_, words_, classes_,
+                                          results.data());
+    for (std::size_t q = 0; q < n_queries; ++q) {
+        out[q] = results[q].index;
+        if (distances_out != nullptr) distances_out[q] = results[q].distance;
+    }
+}
+
 class_memory::prefix_result class_memory::nearest_prefix(
     std::span<const std::uint64_t> query_words, std::size_t window_words) const {
     UHD_REQUIRE(classes_ >= 1, "nearest_prefix() on an empty class memory");

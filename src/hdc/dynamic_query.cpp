@@ -153,6 +153,81 @@ std::size_t dynamic_query_policy::answer(const class_memory& mem,
     return 0; // unreachable: the final stage always answers
 }
 
+void dynamic_query_policy::answer_block(const class_memory& mem,
+                                        std::span<const std::uint64_t> queries_words,
+                                        std::size_t n_queries,
+                                        std::span<std::size_t> out,
+                                        std::span<dynamic_query_stats> stats) const {
+    UHD_REQUIRE(!stages_.empty(), "answer_block() on a default-constructed policy");
+    UHD_REQUIRE(mem.words_per_class() == full_words(),
+                "policy was built for a different row width");
+    const std::size_t words = mem.words_per_class();
+    UHD_REQUIRE(queries_words.size() == n_queries * words,
+                "query block word count mismatch");
+    UHD_REQUIRE(out.size() == n_queries, "prediction buffer size mismatch");
+    UHD_REQUIRE(stats.empty() || stats.size() == n_queries,
+                "stats buffer size mismatch");
+    if (n_queries == 0) return;
+    const std::size_t classes = mem.classes();
+    // Per-thread block state: a compacting copy of the still-active queries,
+    // their running per-class distances, and each slot's original index.
+    // Compaction keeps the active set contiguous, so every stage is one
+    // block-extend call that streams each class row once for all survivors.
+    static thread_local std::vector<std::uint64_t> active_queries;
+    static thread_local std::vector<std::uint64_t> distances;
+    static thread_local std::vector<std::size_t> origin;
+    active_queries.assign(queries_words.begin(), queries_words.end());
+    distances.assign(n_queries * classes, 0);
+    origin.resize(n_queries);
+    for (std::size_t q = 0; q < n_queries; ++q) origin[q] = q;
+
+    std::size_t active = n_queries;
+    std::size_t scanned_to = 0;
+    for (std::size_t s = 0; s < stages_.size() && active > 0; ++s) {
+        const dynamic_stage& stage = stages_[s];
+        kernels::hamming_block_extend(active_queries.data(), words, active,
+                                      mem.rows().data(), words, scanned_to,
+                                      stage.window_words, classes,
+                                      distances.data());
+        scanned_to = stage.window_words;
+        const bool last = s + 1 == stages_.size();
+        std::size_t kept = 0;
+        for (std::size_t slot = 0; slot < active; ++slot) {
+            const kernels::argmin2_result r =
+                kernels::argmin2_u64(distances.data() + slot * classes, classes);
+            const std::uint64_t margin = r.runner_up == ~std::uint64_t{0}
+                                             ? ~std::uint64_t{0}
+                                             : r.runner_up - r.distance;
+            if (last || (stage.margin_threshold != disabled_threshold &&
+                         margin >= stage.margin_threshold)) {
+                const std::size_t q = origin[slot];
+                out[q] = r.index;
+                if (!stats.empty()) {
+                    stats[q].exit_stage = s;
+                    stats[q].window_words = stage.window_words;
+                    stats[q].words_scanned = classes * stage.window_words;
+                }
+                continue;
+            }
+            if (kept != slot) {
+                std::copy_n(active_queries.begin() +
+                                static_cast<std::ptrdiff_t>(slot * words),
+                            words,
+                            active_queries.begin() +
+                                static_cast<std::ptrdiff_t>(kept * words));
+                std::copy_n(distances.begin() +
+                                static_cast<std::ptrdiff_t>(slot * classes),
+                            classes,
+                            distances.begin() +
+                                static_cast<std::ptrdiff_t>(kept * classes));
+                origin[kept] = origin[slot];
+            }
+            ++kept;
+        }
+        active = kept;
+    }
+}
+
 // --- snapshot overloads ---------------------------------------------------
 
 dynamic_query_policy dynamic_query_policy::full_scan(const inference_snapshot& snap) {
@@ -173,6 +248,14 @@ std::size_t dynamic_query_policy::answer(const inference_snapshot& snap,
                                          std::span<const std::uint64_t> query_words,
                                          dynamic_query_stats* stats) const {
     return answer(snap.memory(), query_words, stats);
+}
+
+void dynamic_query_policy::answer_block(const inference_snapshot& snap,
+                                        std::span<const std::uint64_t> queries_words,
+                                        std::size_t n_queries,
+                                        std::span<std::size_t> out,
+                                        std::span<dynamic_query_stats> stats) const {
+    answer_block(snap.memory(), queries_words, n_queries, out, stats);
 }
 
 } // namespace uhd::hdc

@@ -58,6 +58,18 @@ public:
     [[nodiscard]] std::size_t nearest(const hypervector& query,
                                       std::uint64_t* distance_out = nullptr) const;
 
+    /// Answer a block of `n_queries` packed queries (words_per_class()
+    /// words each, back-to-back in `queries_words`) in one register-blocked
+    /// pass over the class rows (kernels::hamming_block_argmin2_prefix over
+    /// the full row width). out[q] is bit-identical to
+    /// nearest(query q) — same distances, same first-wins tie rule — the
+    /// blocking only changes how many queries share each streamed row.
+    /// When `distances_out` is non-null it receives the n_queries winning
+    /// distances.
+    void nearest_block(std::span<const std::uint64_t> queries_words,
+                       std::size_t n_queries, std::span<std::size_t> out,
+                       std::uint64_t* distances_out = nullptr) const;
+
     /// Result of a prefix-window associative search (nearest_prefix).
     struct prefix_result {
         std::size_t index;       ///< nearest row over the window (first-wins)

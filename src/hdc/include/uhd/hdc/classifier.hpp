@@ -204,17 +204,40 @@ public:
                                                target_agreement);
     }
 
+    /// Images per encoded block drained through the snapshot's query-GEMM
+    /// path by predict_batch — sized to the serve engine's default
+    /// micro-batch (engine_options::max_batch).
+    static constexpr std::size_t predict_block_images = 32;
+
     /// Predict every image of a dataset into `out` (one label slot per
-    /// image). With a pool, the batch is split into contiguous chunks
-    /// across its workers; every image's prediction is independent and
-    /// written to its own slot, so the result is bit-identical for every
-    /// thread count.
+    /// image). Each worker encodes contiguous blocks of
+    /// predict_block_images images and answers every block with one
+    /// register-blocked kernel call (inference_snapshot::predict_block), so
+    /// each packed class row is streamed once per query tile instead of
+    /// once per image. With a pool, the batch is split into contiguous
+    /// chunks across its workers; every image's prediction is independent
+    /// and written to its own slot, and the block path is bit-identical to
+    /// predict() per image — the result is the same for every thread count
+    /// and block size.
     void predict_batch(const data::dataset& set, std::span<std::size_t> out,
                        thread_pool* pool = nullptr) const {
         UHD_REQUIRE(out.size() == set.size(), "prediction buffer size mismatch");
+        const std::size_t dim = encoder_->dim();
         thread_pool::maybe_parallel_for(
             pool, set.size(), [&](std::size_t begin, std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) out[i] = predict(set.image(i));
+                std::vector<std::int32_t> encoded(
+                    std::min(predict_block_images, end - begin) * dim);
+                for (std::size_t b = begin; b < end; b += predict_block_images) {
+                    const std::size_t count =
+                        std::min(predict_block_images, end - b);
+                    for (std::size_t i = 0; i < count; ++i) {
+                        encoder_->encode(set.image(b + i),
+                                         std::span<std::int32_t>(
+                                             encoded.data() + i * dim, dim));
+                    }
+                    state_.predict_block({encoded.data(), count * dim}, count,
+                                         out.subspan(b, count));
+                }
             });
     }
 

@@ -153,6 +153,28 @@ public:
                                      std::span<const std::uint64_t> query_words,
                                      dynamic_query_stats* stats = nullptr) const;
 
+    /// Answer a block of `n_queries` packed queries (mem.words_per_class()
+    /// words each, back-to-back in `queries_words`) through the cascade in
+    /// one stage-synchronized sweep: every stage extends the distances of
+    /// all still-active queries with one register-blocked kernel call
+    /// (kernels::hamming_block_extend), queries whose margin clears the
+    /// stage threshold are answered, and the survivors are compacted so the
+    /// next stage streams each class row once for the whole remainder.
+    /// out[q] — and, when `stats` is non-empty (it must then hold n_queries
+    /// slots), stats[q] — are bit-identical to answer(query q): the
+    /// per-query distances, margins, and exit decisions are untouched by
+    /// the blocking.
+    void answer_block(const class_memory& mem,
+                      std::span<const std::uint64_t> queries_words,
+                      std::size_t n_queries, std::span<std::size_t> out,
+                      std::span<dynamic_query_stats> stats = {}) const;
+
+    /// Block cascade against a snapshot's packed memory.
+    void answer_block(const inference_snapshot& snap,
+                      std::span<const std::uint64_t> queries_words,
+                      std::size_t n_queries, std::span<std::size_t> out,
+                      std::span<dynamic_query_stats> stats = {}) const;
+
 private:
     std::vector<dynamic_stage> stages_;
 };

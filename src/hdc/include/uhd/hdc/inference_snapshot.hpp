@@ -124,6 +124,44 @@ public:
         const dynamic_query_policy& policy,
         dynamic_query_stats* stats = nullptr) const;
 
+    // --- block read paths -------------------------------------------------
+    //
+    // Multi-query entry points: `n_queries` queries back-to-back in one
+    // contiguous buffer, answered with the register-blocked query-GEMM
+    // kernels so each packed class row is streamed once per query tile
+    // instead of once per query. Every out[q] is bit-identical to the
+    // corresponding single-query call — blocking changes memory traffic,
+    // never answers.
+
+    /// Predict a block of already-encoded accumulators (`n_queries` x dim()
+    /// int32 values back-to-back). Binarized mode packs every query and
+    /// answers with one block Hamming-argmin; integer mode falls back to
+    /// the per-query cosine path (its blocked-dot kernels are per-row).
+    void predict_block(std::span<const std::int32_t> encoded,
+                       std::size_t n_queries, std::span<std::size_t> out) const;
+
+    /// Predict a block of already-packed binarized queries
+    /// (words_per_class() words each, back-to-back).
+    void predict_packed_block(std::span<const std::uint64_t> queries_words,
+                              std::size_t n_queries,
+                              std::span<std::size_t> out) const;
+
+    /// Dynamic-dimension inference on a block of encoded accumulators:
+    /// sign-binarize every query and run the stage-synchronized block
+    /// cascade (dynamic_query_policy::answer_block). When `stats` is
+    /// non-empty it must hold n_queries slots.
+    void predict_dynamic_block(std::span<const std::int32_t> encoded,
+                               std::size_t n_queries,
+                               const dynamic_query_policy& policy,
+                               std::span<std::size_t> out,
+                               std::span<dynamic_query_stats> stats = {}) const;
+
+    /// Block cascade on already-packed queries.
+    void predict_dynamic_packed_block(
+        std::span<const std::uint64_t> queries_words, std::size_t n_queries,
+        const dynamic_query_policy& policy, std::span<std::size_t> out,
+        std::span<dynamic_query_stats> stats = {}) const;
+
     /// Payload equality: mode, geometry, packed rows, integer rows, norms.
     /// version() is deliberately excluded — it orders publications of one
     /// trainer, it does not describe the state (a saved and a reloaded

@@ -58,6 +58,24 @@ std::span<const std::uint64_t> binarize_query(
     return {query_words.data(), query_words.size()};
 }
 
+/// Sign-binarize a whole query block into per-thread packed scratch (one
+/// row of sign_words(dim) words per query, the same packing as
+/// binarize_query) — the block paths' shared binarize step. Distinct
+/// scratch from binarize_query so a block call never clobbers a
+/// single-query caller's words on the same thread.
+std::span<const std::uint64_t> binarize_block(
+    std::span<const std::int32_t> encoded, std::size_t n_queries,
+    std::size_t dim) {
+    static thread_local std::vector<std::uint64_t> block_words;
+    const std::size_t words = kernels::sign_words(dim);
+    block_words.resize(n_queries * words);
+    for (std::size_t q = 0; q < n_queries; ++q) {
+        kernels::sign_binarize(encoded.data() + q * dim, dim,
+                               block_words.data() + q * words);
+    }
+    return {block_words.data(), block_words.size()};
+}
+
 } // namespace
 
 std::size_t inference_snapshot::predict_encoded(
@@ -102,6 +120,46 @@ std::size_t inference_snapshot::predict_dynamic_packed(
     std::span<const std::uint64_t> query_words, const dynamic_query_policy& policy,
     dynamic_query_stats* stats) const {
     return policy.answer(mem_, query_words, stats);
+}
+
+void inference_snapshot::predict_block(std::span<const std::int32_t> encoded,
+                                       std::size_t n_queries,
+                                       std::span<std::size_t> out) const {
+    UHD_REQUIRE(encoded.size() == n_queries * dim(), "encoded block size mismatch");
+    UHD_REQUIRE(out.size() == n_queries, "prediction buffer size mismatch");
+    if (n_queries == 0) return;
+    if (mode_ == query_mode::integer) {
+        // The integer cosine path has no query-GEMM formulation yet — its
+        // blocked-dot kernels are per (query, row) — so the block entry
+        // point keeps the contract by looping.
+        for (std::size_t q = 0; q < n_queries; ++q) {
+            out[q] = predict_encoded(encoded.subspan(q * dim(), dim()));
+        }
+        return;
+    }
+    mem_.nearest_block(binarize_block(encoded, n_queries, dim()), n_queries, out);
+}
+
+void inference_snapshot::predict_packed_block(
+    std::span<const std::uint64_t> queries_words, std::size_t n_queries,
+    std::span<std::size_t> out) const {
+    mem_.nearest_block(queries_words, n_queries, out);
+}
+
+void inference_snapshot::predict_dynamic_block(
+    std::span<const std::int32_t> encoded, std::size_t n_queries,
+    const dynamic_query_policy& policy, std::span<std::size_t> out,
+    std::span<dynamic_query_stats> stats) const {
+    UHD_REQUIRE(encoded.size() == n_queries * dim(), "encoded block size mismatch");
+    policy.answer_block(mem_, binarize_block(encoded, n_queries, dim()), n_queries,
+                        out, stats);
+}
+
+void inference_snapshot::predict_dynamic_packed_block(
+    std::span<const std::uint64_t> queries_words, std::size_t n_queries,
+    const dynamic_query_policy& policy, std::span<std::size_t> out,
+    std::span<dynamic_query_stats> stats) const {
+    policy.answer_block(mem_, queries_words, n_queries, out, stats);
 }
 
 bool inference_snapshot::operator==(const inference_snapshot& other) const noexcept {

@@ -16,6 +16,16 @@
 //   request in the batch from that one immutable state, with no lock held
 //   during inference; they never wait on training work and never observe
 //   a half-updated model.
+// * A drained micro-batch is answered with ONE block-kernel call whenever
+//   the engine serves from the packed memory (binarized mode, or any
+//   policy-configured engine): the requests are sign-binarized into one
+//   contiguous packed block and pushed through the register-blocked
+//   query-GEMM kernels (inference_snapshot::predict_packed_block /
+//   dynamic_query_policy::answer_block), so each packed class row is
+//   streamed once per query tile instead of once per request. Bit-identical
+//   per request to the single-query paths; serve_stats::kernel_calls
+//   counts the drain calls, so queries / kernel_calls is the effective
+//   block utilization.
 // * publish() is a single pointer swap. In-flight batches keep the
 //   snapshot they already loaded (shared_ptr keeps it alive until the
 //   last reader drops it); new batches see the new state. Queries are

@@ -16,9 +16,22 @@ namespace uhd::serve {
 struct serve_stats {
     std::uint64_t queries = 0;            ///< requests answered
     std::uint64_t batches = 0;            ///< micro-batches drained
+    std::uint64_t kernel_calls = 0;       ///< distance-engine drain calls
+                                          ///< (1 per batch on the block
+                                          ///< path, batch size on the
+                                          ///< per-query fallback)
     std::uint64_t snapshot_swaps = 0;     ///< publish() calls accepted
     std::uint64_t max_batch_observed = 0; ///< largest drained batch
     std::uint64_t snapshot_version = 0;   ///< version of the live snapshot
+
+    /// Effective block utilization: requests answered per distance-engine
+    /// drain call (== avg micro-batch size when every batch takes the
+    /// block path; 1.0 on the per-query fallback).
+    [[nodiscard]] double block_utilization() const noexcept {
+        return kernel_calls == 0 ? 0.0
+                                 : static_cast<double>(queries) /
+                                       static_cast<double>(kernel_calls);
+    }
 };
 
 /// The engine's live counters. Relaxed ordering throughout: counters are
@@ -26,9 +39,11 @@ struct serve_stats {
 /// own acquire/release edge (the atomic shared_ptr swap).
 class serve_counters {
 public:
-    void record_batch(std::uint64_t batch_size) noexcept {
+    void record_batch(std::uint64_t batch_size,
+                      std::uint64_t kernel_calls) noexcept {
         queries_.fetch_add(batch_size, std::memory_order_relaxed);
         batches_.fetch_add(1, std::memory_order_relaxed);
+        kernel_calls_.fetch_add(kernel_calls, std::memory_order_relaxed);
         // Monotonic max via CAS: several workers may race, the largest wins.
         std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
         while (batch_size > seen &&
@@ -45,6 +60,7 @@ public:
         serve_stats out;
         out.queries = queries_.load(std::memory_order_relaxed);
         out.batches = batches_.load(std::memory_order_relaxed);
+        out.kernel_calls = kernel_calls_.load(std::memory_order_relaxed);
         out.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
         out.max_batch_observed = max_batch_.load(std::memory_order_relaxed);
         out.snapshot_version = snapshot_version;
@@ -54,6 +70,7 @@ public:
 private:
     std::atomic<std::uint64_t> queries_{0};
     std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> kernel_calls_{0};
     std::atomic<std::uint64_t> swaps_{0};
     std::atomic<std::uint64_t> max_batch_{0};
 };

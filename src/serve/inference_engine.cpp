@@ -1,8 +1,10 @@
 #include "uhd/serve/inference_engine.hpp"
 
+#include <span>
 #include <utility>
 
 #include "uhd/common/error.hpp"
+#include "uhd/common/kernels.hpp"
 
 namespace uhd::serve {
 
@@ -94,23 +96,66 @@ void inference_engine::stop() {
 
 void inference_engine::worker_loop() {
     std::vector<request> batch;
+    // Worker-local block scratch, reused across drains: the packed query
+    // block (one sign-binarized row per request) and the answer slots.
+    std::vector<std::uint64_t> packed;
+    std::vector<std::size_t> answers;
+    // The cascade always answers from the packed memory regardless of the
+    // snapshot's query mode, so every policy-configured engine takes the
+    // block path; only the integer full-cosine mode loops per request.
+    const bool block_path =
+        policy_.has_value() || mode_ == hdc::query_mode::binarized;
     while (queue_.pop_batch(batch, max_batch_) != 0) {
         // One snapshot load per micro-batch: every request in the batch is
         // answered from the same immutable state, concurrent publishes
         // notwithstanding.
         const std::shared_ptr<const hdc::inference_snapshot> snap = current_.load();
-        for (request& req : batch) {
+        if (block_path) {
+            // The whole drained batch is answered with ONE block-kernel
+            // call: sign-binarize every request into one contiguous packed
+            // block, then block-argmin (or the stage-synchronized block
+            // cascade) over it. Bit-identical per request to the
+            // single-query predict paths — submit() pinned every encoded
+            // size to dim(), so the batch can only fail as a whole.
+            const std::size_t words = snap->words_per_class();
+            packed.resize(batch.size() * words);
+            answers.resize(batch.size());
+            bool answered = false;
             try {
-                const std::size_t answer =
-                    policy_.has_value()
-                        ? snap->predict_dynamic_encoded(req.encoded, *policy_)
-                        : snap->predict_encoded(req.encoded);
-                req.answer.set_value(answer);
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    kernels::sign_binarize(batch[i].encoded.data(),
+                                           batch[i].encoded.size(),
+                                           packed.data() + i * words);
+                }
+                const std::span<const std::uint64_t> block(packed.data(),
+                                                           packed.size());
+                if (policy_.has_value()) {
+                    policy_->answer_block(*snap, block, batch.size(), answers);
+                } else {
+                    snap->predict_packed_block(block, batch.size(), answers);
+                }
+                answered = true;
             } catch (...) {
-                req.answer.set_exception(std::current_exception());
+                for (request& req : batch) {
+                    req.answer.set_exception(std::current_exception());
+                }
             }
+            if (answered) {
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    batch[i].answer.set_value(answers[i]);
+                }
+            }
+            counters_.record_batch(batch.size(), 1);
+        } else {
+            for (request& req : batch) {
+                try {
+                    req.answer.set_value(snap->predict_encoded(req.encoded));
+                } catch (...) {
+                    req.answer.set_exception(std::current_exception());
+                }
+            }
+            counters_.record_batch(batch.size(), batch.size());
         }
-        counters_.record_batch(batch.size());
     }
 }
 

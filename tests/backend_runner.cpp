@@ -1,0 +1,41 @@
+// Forced-backend test launcher: runs a command under UHD_BACKEND=<name>,
+// exiting with the CTest skip code (77) when the runtime probe rejects the
+// backend on this host. This is what lets the *_avx2/*_avx512 CTest
+// variants be registered unconditionally — on a runner without the ISA
+// they report SKIPPED (SKIP_RETURN_CODE 77) instead of failing on the
+// registry's inadmissible-backend diagnostic.
+//
+//   backend_runner <backend> <command> [args...]
+#include <cstdio>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "uhd/common/cpu_features.hpp"
+#include "uhd/common/kernels.hpp"
+
+int main(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: %s <backend> <command> [args...]\n", argv[0]);
+        return 2;
+    }
+    const uhd::kernels::kernel_table* backend = uhd::kernels::find_backend(argv[1]);
+    if (backend == nullptr) {
+        std::fprintf(stderr, "backend '%s' is not compiled into this build\n",
+                     argv[1]);
+        return 77;
+    }
+    if (!backend->supported(uhd::cpu())) {
+        std::fprintf(stderr,
+                     "backend '%s' is inadmissible on this host (probed: %s)\n",
+                     argv[1], uhd::cpu().to_string().c_str());
+        return 77;
+    }
+    if (setenv("UHD_BACKEND", argv[1], 1) != 0) {
+        std::perror("setenv");
+        return 2;
+    }
+    execvp(argv[2], argv + 2);
+    std::perror("execvp");
+    return 2;
+}

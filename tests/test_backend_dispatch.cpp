@@ -64,12 +64,29 @@ TEST(BackendRegistry, AutoPicksWidestAdmissibleBackend) {
 TEST(BackendRegistry, AutoSelectsAvx2OnAvx2HardwareInGenericBuilds) {
     // The acceptance criterion of the dispatch refactor: when the probe
     // reports usable AVX2 and the binary carries the AVX2 TU, auto must
-    // pick it — even though this build sets no global arch flags.
+    // pick it — even though this build sets no global arch flags. A usable
+    // AVX-512 probe outranks it (widest-last registry order).
     if (!cpu().avx2_usable() || kernels::find_backend("avx2") == nullptr) {
         GTEST_SKIP() << "AVX2 not available (probe: " << cpu().to_string() << ")";
     }
+    if (cpu().avx512_usable() && kernels::find_backend("avx512") != nullptr) {
+        GTEST_SKIP() << "AVX-512 outranks AVX2 on this host (probe: "
+                     << cpu().to_string() << ")";
+    }
     EXPECT_EQ(&kernels::select_backend("auto", cpu()),
               kernels::find_backend("avx2"));
+}
+
+TEST(BackendRegistry, AutoSelectsAvx512OnAvx512HardwareInGenericBuilds) {
+    // Same criterion one tier up: a usable AVX-512 probe plus a compiled-in
+    // avx512 TU means auto lands on avx512, with or without VPOPCNTDQ (the
+    // popcount flavor is an implementation detail inside the TU).
+    if (!cpu().avx512_usable() || kernels::find_backend("avx512") == nullptr) {
+        GTEST_SKIP() << "AVX-512 not available (probe: " << cpu().to_string()
+                     << ")";
+    }
+    EXPECT_EQ(&kernels::select_backend("auto", cpu()),
+              kernels::find_backend("avx512"));
 }
 
 TEST(BackendRegistry, UnknownBackendNameFailsLoudlyWithValidChoices) {
@@ -109,16 +126,52 @@ TEST(BackendRegistry, InadmissibleBackendFailsLoudlyWithProbeReport) {
     }
 }
 
+TEST(BackendRegistry, InadmissibleAvx512FailsLoudlyWithAdmissibleList) {
+    // Requesting avx512 on a host whose probe rejects it (no AVX-512, or an
+    // OS that masks ZMM state out of XCR0) must throw a uhd::error that
+    // names the request, the probed features, and the backends that ARE
+    // admissible — the actionable half of the diagnostic.
+    if (kernels::find_backend("avx512") == nullptr) {
+        GTEST_SKIP() << "binary carries no avx512 backend";
+    }
+    cpu_features no_avx512 = cpu();
+    no_avx512.avx512f = false;
+    no_avx512.avx512bw = false;
+    no_avx512.avx512vpopcntdq = false;
+    no_avx512.zmm_state = false;
+    ASSERT_FALSE(no_avx512.avx512_usable());
+    try {
+        (void)kernels::select_backend("avx512", no_avx512);
+        FAIL() << "select_backend accepted an inadmissible avx512 request";
+    } catch (const uhd::error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("avx512"), std::string::npos) << what;
+        EXPECT_NE(what.find("probed"), std::string::npos) << what;
+        EXPECT_NE(what.find("admissible"), std::string::npos) << what;
+        // The always-admissible portable backends must be offered.
+        EXPECT_NE(what.find("scalar"), std::string::npos) << what;
+        EXPECT_NE(what.find("swar"), std::string::npos) << what;
+    }
+}
+
 TEST(BackendRegistry, ProbeIsStableAndConsistent) {
     const cpu_features a = probe_cpu_features();
     const cpu_features b = probe_cpu_features();
     EXPECT_EQ(a.to_string(), b.to_string());
     EXPECT_EQ(a.to_string(), cpu().to_string());
-    // avx2_usable implies each of its components.
+    // avx2_usable / avx512_usable imply each of their components.
     if (a.avx2_usable()) {
         EXPECT_TRUE(a.avx2);
         EXPECT_TRUE(a.avx);
         EXPECT_TRUE(a.osxsave);
+        EXPECT_TRUE(a.ymm_state);
+    }
+    if (a.avx512_usable()) {
+        EXPECT_TRUE(a.avx512f);
+        EXPECT_TRUE(a.avx512bw);
+        EXPECT_TRUE(a.osxsave);
+        EXPECT_TRUE(a.zmm_state);
+        // ZMM state subsumes YMM state in XCR0.
         EXPECT_TRUE(a.ymm_state);
     }
     EXPECT_FALSE(a.to_string().empty());
