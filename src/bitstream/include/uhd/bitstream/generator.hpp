@@ -12,6 +12,7 @@
 #ifndef UHD_BITSTREAM_GENERATOR_HPP
 #define UHD_BITSTREAM_GENERATOR_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 

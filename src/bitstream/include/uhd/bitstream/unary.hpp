@@ -16,6 +16,7 @@
 #ifndef UHD_BITSTREAM_UNARY_HPP
 #define UHD_BITSTREAM_UNARY_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 #include "uhd/bitstream/bitstream.hpp"

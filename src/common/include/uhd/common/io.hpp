@@ -3,6 +3,7 @@
 #ifndef UHD_COMMON_IO_HPP
 #define UHD_COMMON_IO_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <span>

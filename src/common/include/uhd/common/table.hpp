@@ -3,6 +3,7 @@
 #ifndef UHD_COMMON_TABLE_HPP
 #define UHD_COMMON_TABLE_HPP
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

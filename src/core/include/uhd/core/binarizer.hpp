@@ -14,6 +14,7 @@
 #ifndef UHD_CORE_BINARIZER_HPP
 #define UHD_CORE_BINARIZER_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 namespace uhd::core {

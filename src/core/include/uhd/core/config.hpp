@@ -2,6 +2,7 @@
 #ifndef UHD_CORE_CONFIG_HPP
 #define UHD_CORE_CONFIG_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 #include "uhd/lowdisc/sobol.hpp"

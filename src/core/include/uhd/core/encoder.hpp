@@ -31,6 +31,7 @@
 #define UHD_CORE_ENCODER_HPP
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

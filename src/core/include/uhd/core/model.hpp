@@ -7,7 +7,10 @@
 #ifndef UHD_CORE_MODEL_HPP
 #define UHD_CORE_MODEL_HPP
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 

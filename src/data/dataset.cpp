@@ -17,7 +17,7 @@ dataset::dataset(image_shape shape, std::size_t num_classes)
     UHD_REQUIRE(num_classes >= 2, "need at least two classes");
 }
 
-void dataset::add(std::vector<std::uint8_t> pixels, std::size_t label) {
+void dataset::add(std::span<const std::uint8_t> pixels, std::size_t label) {
     UHD_REQUIRE(pixels.size() == shape_.values(), "image size does not match shape");
     UHD_REQUIRE(label < num_classes_, "label out of range");
     values_.insert(values_.end(), pixels.begin(), pixels.end());
@@ -95,12 +95,10 @@ std::pair<dataset, dataset> dataset::split(double train_fraction,
     dataset train(shape_, num_classes_);
     dataset test(shape_, num_classes_);
     for (std::size_t i = 0; i < shuffled.size(); ++i) {
-        const auto img = shuffled.image(i);
-        std::vector<std::uint8_t> copy(img.begin(), img.end());
         if (i < train_count) {
-            train.add(std::move(copy), shuffled.label(i));
+            train.add(shuffled.image(i), shuffled.label(i));
         } else {
-            test.add(std::move(copy), shuffled.label(i));
+            test.add(shuffled.image(i), shuffled.label(i));
         }
     }
     return {std::move(train), std::move(test)};

@@ -5,6 +5,7 @@
 #ifndef UHD_DATA_CANVAS_HPP
 #define UHD_DATA_CANVAS_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -8,7 +8,9 @@
 #ifndef UHD_DATA_DATASET_HPP
 #define UHD_DATA_DATASET_HPP
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <utility>
@@ -41,7 +43,13 @@ public:
 
     /// Append one image; `pixels` must have shape.values() entries and
     /// `label` must be < num_classes().
-    void add(std::vector<std::uint8_t> pixels, std::size_t label);
+    void add(std::span<const std::uint8_t> pixels, std::size_t label);
+
+    /// Braced-list convenience: span cannot bind an initializer_list
+    /// directly until C++26.
+    void add(std::initializer_list<std::uint8_t> pixels, std::size_t label) {
+        add(std::span<const std::uint8_t>(pixels.begin(), pixels.size()), label);
+    }
 
     [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
     [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }

@@ -7,6 +7,7 @@
 #ifndef UHD_DATA_IDX_HPP
 #define UHD_DATA_IDX_HPP
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <utility>

@@ -15,8 +15,10 @@
 #ifndef UHD_DATA_SYNTHETIC_HPP
 #define UHD_DATA_SYNTHETIC_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "uhd/data/dataset.hpp"
 

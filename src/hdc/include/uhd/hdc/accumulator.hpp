@@ -5,6 +5,7 @@
 #ifndef UHD_HDC_ACCUMULATOR_HPP
 #define UHD_HDC_ACCUMULATOR_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -9,6 +9,7 @@
 #ifndef UHD_HDC_BASELINE_ENCODER_HPP
 #define UHD_HDC_BASELINE_ENCODER_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>

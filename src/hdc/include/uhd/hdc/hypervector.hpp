@@ -8,8 +8,10 @@
 #ifndef UHD_HDC_HYPERVECTOR_HPP
 #define UHD_HDC_HYPERVECTOR_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 
 #include "uhd/bitstream/bitstream.hpp"
 #include "uhd/common/rng.hpp"

@@ -10,6 +10,7 @@
 #ifndef UHD_HDC_NGRAM_HPP
 #define UHD_HDC_NGRAM_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -28,6 +28,7 @@
 #define UHD_HDC_TRAINER_HPP
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -7,6 +7,7 @@
 #define UHD_HW_MODULE_HPP
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

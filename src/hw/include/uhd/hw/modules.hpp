@@ -6,6 +6,8 @@
 #ifndef UHD_HW_MODULES_HPP
 #define UHD_HW_MODULES_HPP
 
+#include <cstddef>
+
 #include "uhd/hw/module.hpp"
 
 namespace uhd::hw {

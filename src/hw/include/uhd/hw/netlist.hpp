@@ -9,6 +9,7 @@
 #ifndef UHD_HW_NETLIST_HPP
 #define UHD_HW_NETLIST_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -16,6 +16,7 @@
 #ifndef UHD_LOWDISC_GF2_HPP
 #define UHD_LOWDISC_GF2_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -5,6 +5,7 @@
 #ifndef UHD_LOWDISC_HALTON_HPP
 #define UHD_LOWDISC_HALTON_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

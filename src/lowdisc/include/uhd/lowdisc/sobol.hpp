@@ -16,6 +16,7 @@
 #define UHD_LOWDISC_SOBOL_HPP
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

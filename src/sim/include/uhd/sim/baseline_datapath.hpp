@@ -8,6 +8,7 @@
 #ifndef UHD_SIM_BASELINE_DATAPATH_HPP
 #define UHD_SIM_BASELINE_DATAPATH_HPP
 
+#include <cstdint>
 #include <span>
 
 #include "uhd/hdc/baseline_encoder.hpp"

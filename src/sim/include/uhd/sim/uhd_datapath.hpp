@@ -10,6 +10,7 @@
 #ifndef UHD_SIM_UHD_DATAPATH_HPP
 #define UHD_SIM_UHD_DATAPATH_HPP
 
+#include <cstdint>
 #include <span>
 
 #include "uhd/core/binarizer.hpp"

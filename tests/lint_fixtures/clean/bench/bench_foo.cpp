@@ -1,0 +1,14 @@
+// Fixture: a bench emitting the documented schema version.
+#include <cstdio>
+
+int main() {
+    std::FILE* f = std::fopen("BENCH_foo.json", "w");
+    if (f == nullptr) return 1;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"foo\",\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"value\": 42\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return 0;
+}

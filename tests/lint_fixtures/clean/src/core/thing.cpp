@@ -1,0 +1,14 @@
+// Fixture: a portable TU that (correctly) routes through the dispatch
+// layer instead of naming any backend table.
+#include "uhd/core/thing.hpp"
+
+#include "uhd/common/kernels.hpp"
+
+namespace uhd::core {
+
+std::uint64_t reduce(const thing& t) {
+    return kernels::active().beta(t.words.data(), t.words.data(),
+                                  t.words.size());
+}
+
+} // namespace uhd::core

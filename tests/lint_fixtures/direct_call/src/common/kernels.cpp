@@ -1,0 +1,23 @@
+// Fixture: miniature backend registry (two backends, scalar is the
+// pinned oracle). The parity rule reads the detail::<name>_table list.
+#include "uhd/common/kernels.hpp"
+
+namespace uhd::kernels {
+
+namespace detail {
+const kernel_table& scalar_table();
+const kernel_table& swar_table();
+} // namespace detail
+
+namespace {
+
+const kernel_table* const registry[] = {
+    &detail::scalar_table(),
+    &detail::swar_table(),
+};
+
+} // namespace
+
+const kernel_table& active() { return *registry[0]; }
+
+} // namespace uhd::kernels

@@ -1,0 +1,27 @@
+// Fixture: portable word-parallel backend TU.
+#include "uhd/common/kernels.hpp"
+
+namespace uhd::kernels::detail {
+
+namespace {
+
+bool supported(int) { return true; }
+
+void alpha(const std::uint8_t*, std::size_t) {}
+
+std::uint64_t beta(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) acc += a[i] ^ b[i];
+    return acc;
+}
+
+constexpr kernel_table table{
+    "swar", supported,
+    alpha,  beta,
+};
+
+} // namespace
+
+const kernel_table& swar_table() { return table; }
+
+} // namespace uhd::kernels::detail

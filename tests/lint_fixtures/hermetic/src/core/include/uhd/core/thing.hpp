@@ -1,0 +1,16 @@
+// Fixture: SEEDED VIOLATION — a portable public header pulling in the
+// intrinsics header. isa-hermeticity must fire on the include line.
+#ifndef FIXTURE_UHD_CORE_THING_HPP
+#define FIXTURE_UHD_CORE_THING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <immintrin.h>
+
+namespace uhd::core {
+
+std::uint64_t reduce(const std::uint64_t* words, std::size_t n);
+
+} // namespace uhd::core
+
+#endif // FIXTURE_UHD_CORE_THING_HPP

@@ -1,0 +1,20 @@
+// Fixture: SEEDED VIOLATION — a portable TU guarded by __AVX2__ and
+// calling an _mm256 intrinsic. isa-hermeticity must fire on both, and
+// must NOT fire on this comment even though it says __AVX2__ (stripped
+// before scanning), nor on the string literal below.
+#include "uhd/core/thing.hpp"
+
+namespace uhd::core {
+
+const char* backend_name() { return "__AVX2__ (not a violation: string)"; }
+
+std::uint64_t reduce(const std::uint64_t* words, std::size_t n) {
+    std::uint64_t acc = 0;
+#if defined(__AVX2__)
+    (void)_mm256_setzero_si256();
+#endif
+    for (std::size_t i = 0; i < n; ++i) acc += words[i];
+    return acc;
+}
+
+} // namespace uhd::core

@@ -1,0 +1,14 @@
+// Fixture: SEEDED VIOLATION — a public header with no include guard that
+// uses std::string and std::vector without including <string>/<vector>.
+// header-hygiene must fire on the missing guard and both missing includes.
+#include <cstddef>
+
+namespace uhd::core {
+
+struct thing {
+    std::string label;
+    std::vector<int> values;
+    std::size_t count = 0;
+};
+
+} // namespace uhd::core

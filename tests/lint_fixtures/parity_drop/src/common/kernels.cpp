@@ -1,0 +1,26 @@
+// Fixture: SEEDED VIOLATION — the registry lists an avx2 backend whose
+// translation unit does not exist. kernel-table-parity must fire on the
+// registry entry (in addition to the dropped slot in kernels_swar.cpp).
+#include "uhd/common/kernels.hpp"
+
+namespace uhd::kernels {
+
+namespace detail {
+const kernel_table& scalar_table();
+const kernel_table& swar_table();
+const kernel_table& avx2_table();
+} // namespace detail
+
+namespace {
+
+const kernel_table* const registry[] = {
+    &detail::scalar_table(),
+    &detail::swar_table(),
+    &detail::avx2_table(),
+};
+
+} // namespace
+
+const kernel_table& active() { return *registry[0]; }
+
+} // namespace uhd::kernels

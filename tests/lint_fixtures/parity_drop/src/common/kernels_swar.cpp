@@ -1,0 +1,23 @@
+// Fixture: SEEDED VIOLATION — the `beta` kernel slot was dropped from
+// this backend (definition and initializer entry). kernel-table-parity
+// must fire: initializer arity mismatch + missing member.
+#include "uhd/common/kernels.hpp"
+
+namespace uhd::kernels::detail {
+
+namespace {
+
+bool supported(int) { return true; }
+
+void alpha(const std::uint8_t*, std::size_t) {}
+
+constexpr kernel_table table{
+    "swar", supported,
+    alpha,
+};
+
+} // namespace
+
+const kernel_table& swar_table() { return table; }
+
+} // namespace uhd::kernels::detail

@@ -1,0 +1,15 @@
+// Fixture: SEEDED VIOLATION — emits schema_version 2 while the README
+// table documents 1. bench-schema-sync must fire on the emission line.
+#include <cstdio>
+
+int main() {
+    std::FILE* f = std::fopen("BENCH_foo.json", "w");
+    if (f == nullptr) return 1;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"foo\",\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
+    std::fprintf(f, "  \"value\": 42\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return 0;
+}
