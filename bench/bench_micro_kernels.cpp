@@ -6,9 +6,11 @@
 // The custom main() additionally runs three direct throughput measurements
 // and writes machine-readable results (schemas in bench/README.md):
 //  * encode on 28x28 synthetic MNIST-shaped images at D=1024 (scalar vs
-//    word-parallel vs batched vs pool-parallel) -> BENCH_encode.json
-//    (override the path with UHD_BENCH_JSON, workload with
-//    UHD_BENCH_IMAGES);
+//    word-parallel vs batched vs pool-parallel vs rematerializing), plus a
+//    stored-vs-rematerialize footprint + throughput D-sweep past LLC with
+//    bit-identity and >= 100x threshold-state reduction as hard gates
+//    -> BENCH_encode.json (override the path with UHD_BENCH_JSON, workload
+//    with UHD_BENCH_IMAGES);
 //  * training on the same MNIST-shaped workload (seed sequential loop vs
 //    the current sequential fit vs the mini-batch parallel engine at
 //    several pool sizes, determinism-gated) -> BENCH_train.json (override
@@ -226,6 +228,23 @@ void BM_UhdEncode(benchmark::State& state) {
                             static_cast<std::int64_t>(dim * digits().shape().pixels()));
 }
 BENCHMARK(BM_UhdEncode)->Arg(1024)->Arg(8192);
+
+void BM_UhdRematEncode(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    core::uhd_config cfg;
+    cfg.dim = dim;
+    cfg.bank = bank_mode::rematerialize;
+    const core::uhd_encoder enc(cfg, digits().shape());
+    std::vector<std::int32_t> acc(dim);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        enc.encode(digits().image(i++ % digits().size()), acc);
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dim * digits().shape().pixels()));
+}
+BENCHMARK(BM_UhdRematEncode)->Arg(1024)->Arg(8192);
 
 void BM_UhdEncodeBatch(benchmark::State& state) {
     const auto dim = static_cast<std::size_t>(state.range(0));
@@ -468,9 +487,38 @@ struct throughput_entry {
     double speedup_vs_scalar;
 };
 
+/// One D of the stored-vs-rematerialize sweep (784 pixels throughout):
+/// exact threshold-state bytes of both modes and single-thread encode
+/// rates. gcmp_per_s is the dimension-normalized rate (pixel x dim
+/// compares per second) — the measure that exposes the stored bank falling
+/// out of LLC while the rematerializing stream holds rate.
+struct sweep_row {
+    std::size_t dim;
+    std::size_t stored_bytes;
+    std::size_t remat_bytes;
+    double reduction;
+    double stored_img_per_s;
+    double remat_img_per_s;
+    double stored_gcmp_per_s;
+    double remat_gcmp_per_s;
+    bool identical;
+};
+
+/// Hard gates of the encode JSON (schema v3): remat output bit-identical
+/// to stored at every swept D, and >= 100x threshold-state reduction at
+/// the paper's 784 x 8192 point. throughput_hold is reported alongside:
+/// remat compare-rate at the largest D (bank far past LLC) relative to the
+/// smallest D.
+struct encode_gates {
+    bool bit_identity;
+    bool footprint_100x;
+    double throughput_hold;
+};
+
 void write_json(const std::string& path, const data::image_shape& shape,
                 std::size_t dim, unsigned quant_levels, std::size_t images,
-                const std::vector<throughput_entry>& entries) {
+                const std::vector<throughput_entry>& entries,
+                const std::vector<sweep_row>& sweep, const encode_gates& gates) {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -478,7 +526,7 @@ void write_json(const std::string& path, const data::image_shape& shape,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"encode\",\n");
-    std::fprintf(f, "  \"schema_version\": 2,\n");
+    std::fprintf(f, "  \"schema_version\": 3,\n");
     std::fprintf(f,
                  "  \"workload\": {\"rows\": %zu, \"cols\": %zu, \"dim\": %zu, "
                  "\"quant_levels\": %u, \"images\": %zu},\n",
@@ -494,12 +542,41 @@ void write_json(const std::string& path, const data::image_shape& shape,
                      e.name.c_str(), e.threads, e.seconds, e.images_per_s, e.gb_per_s,
                      e.speedup_vs_scalar, i + 1 < entries.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"footprint\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto& r = sweep[i];
+        std::fprintf(f,
+                     "    {\"dim\": %zu, \"pixels\": %zu, \"stored_bytes\": %zu, "
+                     "\"remat_bytes\": %zu, \"reduction\": %.1f}%s\n",
+                     r.dim, shape.pixels(), r.stored_bytes, r.remat_bytes, r.reduction,
+                     i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"dsweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto& r = sweep[i];
+        std::fprintf(f,
+                     "    {\"dim\": %zu, \"stored_img_per_s\": %.1f, "
+                     "\"remat_img_per_s\": %.1f, \"stored_gcmp_per_s\": %.3f, "
+                     "\"remat_gcmp_per_s\": %.3f, \"identical\": %s}%s\n",
+                     r.dim, r.stored_img_per_s, r.remat_img_per_s,
+                     r.stored_gcmp_per_s, r.remat_gcmp_per_s,
+                     r.identical ? "true" : "false",
+                     i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"gates\": {\"bit_identity\": %s, \"footprint_100x\": %s, "
+                 "\"throughput_hold\": %.3f}\n",
+                 gates.bit_identity ? "true" : "false",
+                 gates.footprint_100x ? "true" : "false", gates.throughput_hold);
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("# wrote %s\n", path.c_str());
 }
 
-void run_encode_throughput() {
+int run_encode_throughput() {
     const std::size_t dim = 1024;
     const auto images_n = std::max<std::size_t>(
         1, static_cast<std::size_t>(env_int("UHD_BENCH_IMAGES", 64)));
@@ -544,12 +621,95 @@ void run_encode_throughput() {
                bench::time_encode_batch(enc, ds, images_n, out, &pool), images_n);
     }
 
+    core::uhd_config remat_cfg = cfg;
+    remat_cfg.bank = bank_mode::rematerialize;
+    const core::uhd_encoder remat_enc(remat_cfg, ds.shape());
+    record("encode_remat", 1, bench::time_encode_parallel(remat_enc, ds, images_n),
+           images_n);
+
     const double speedup = entries[0].seconds / entries[1].seconds;
     std::printf("word-parallel vs scalar single-thread speedup: %.2fx %s\n", speedup,
                 speedup >= 5.0 ? "(target >= 5x: PASS)" : "(target >= 5x: MISS)");
 
+    // Stored-vs-rematerialize sweep: exact threshold-state footprint and
+    // single-thread encode rate as D pushes the stored bank past LLC
+    // (784 x 16384 = 12.25 MiB of thresholds; remat state stays ~46 KiB).
+    // Bit-identity of the two modes at every D and the >= 100x reduction
+    // at the paper's 784 x 8192 point are the hard gates of this bench.
+    std::printf("\n== encode footprint + D-sweep: 28x28, stored vs rematerialize ==\n");
+    std::vector<sweep_row> sweep;
+    bool bit_identity = true;
+    bool footprint_100x = false;
+    const std::size_t sweep_images = std::min<std::size_t>(images_n, 16);
+    for (const std::size_t d : {1024u, 4096u, 8192u, 16384u}) {
+        core::uhd_config scfg;
+        scfg.dim = d;
+        core::uhd_config rcfg = scfg;
+        rcfg.bank = bank_mode::rematerialize;
+        const core::uhd_encoder stored(scfg, ds.shape());
+        const core::uhd_encoder remat(rcfg, ds.shape());
+
+        sweep_row row;
+        row.dim = d;
+        row.stored_bytes = stored.threshold_bytes();
+        row.remat_bytes = remat.threshold_bytes();
+        row.reduction =
+            static_cast<double>(row.stored_bytes) / static_cast<double>(row.remat_bytes);
+        if (d == 8192 && row.reduction >= 100.0) footprint_100x = true;
+
+        row.identical = true;
+        std::vector<std::int32_t> a(d);
+        std::vector<std::int32_t> b(d);
+        for (std::size_t i = 0; i < sweep_images; ++i) {
+            stored.encode(ds.image(i), a);
+            remat.encode(ds.image(i), b);
+            if (a != b) row.identical = false;
+        }
+        bit_identity = bit_identity && row.identical;
+
+        const double pixels = static_cast<double>(ds.shape().pixels());
+        row.stored_img_per_s = static_cast<double>(sweep_images) /
+                               bench::time_encode_parallel(stored, ds, sweep_images);
+        row.remat_img_per_s = static_cast<double>(sweep_images) /
+                              bench::time_encode_parallel(remat, ds, sweep_images);
+        // Compare-ops/s normalizes out the D-proportional work per image:
+        // this is the rate that must hold flat for remat past LLC.
+        row.stored_gcmp_per_s =
+            row.stored_img_per_s * static_cast<double>(d) * pixels * 1e-9;
+        row.remat_gcmp_per_s =
+            row.remat_img_per_s * static_cast<double>(d) * pixels * 1e-9;
+        std::printf("D=%-6zu stored %9zu B  remat %6zu B  (%6.1fx)  "
+                    "%7.1f vs %7.1f img/s  %.2f vs %.2f Gcmp/s  %s\n",
+                    d, row.stored_bytes, row.remat_bytes, row.reduction,
+                    row.stored_img_per_s, row.remat_img_per_s, row.stored_gcmp_per_s,
+                    row.remat_gcmp_per_s, row.identical ? "identical" : "DIVERGED");
+        sweep.push_back(row);
+    }
+
+    encode_gates gates;
+    gates.bit_identity = bit_identity;
+    gates.footprint_100x = footprint_100x;
+    gates.throughput_hold =
+        sweep.back().remat_gcmp_per_s / sweep.front().remat_gcmp_per_s;
+    std::printf("gates: bit_identity %s, footprint_100x@8192 %s, "
+                "remat rate hold D=%zu->%zu: %.2fx\n",
+                gates.bit_identity ? "PASS" : "FAIL",
+                gates.footprint_100x ? "PASS" : "FAIL", sweep.front().dim,
+                sweep.back().dim, gates.throughput_hold);
+
     write_json(env_string("UHD_BENCH_JSON", "BENCH_encode.json"), ds.shape(), dim,
-               cfg.quant_levels, images_n, entries);
+               cfg.quant_levels, images_n, entries, sweep, gates);
+    if (!gates.bit_identity) {
+        std::fprintf(stderr,
+                     "FAIL: rematerialized encode diverged from the stored bank\n");
+        return 1;
+    }
+    if (!gates.footprint_100x) {
+        std::fprintf(stderr,
+                     "FAIL: threshold-state reduction below 100x at 784 x 8192\n");
+        return 1;
+    }
+    return 0;
 }
 
 // --- direct train-throughput comparison + BENCH_train.json ----------------
@@ -1079,8 +1239,9 @@ int main(int argc, char** argv) {
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    run_encode_throughput();
+    const int encode_status = run_encode_throughput();
     const int train_status = run_train_throughput();
     const int inference_status = run_inference_throughput();
+    if (encode_status != 0) return encode_status;
     return train_status != 0 ? train_status : inference_status;
 }

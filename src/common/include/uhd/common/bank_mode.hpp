@@ -1,0 +1,28 @@
+// Threshold/item-memory storage policy shared by the uHD encoder
+// (quantized Sobol bank) and the baseline encoder (position/level item
+// memories).
+//
+// stored        — materialize the full table once at construction and
+//                 stream it through the encode kernels (the original
+//                 datapath; fastest when the table fits in cache).
+// rematerialize — keep only O(1) generator state per pixel/row (seeds,
+//                 direction numbers, LFSR parameters) and regenerate the
+//                 table values on the fly inside the encode kernels, in
+//                 L1-resident tiles, per Schmuck et al.'s on-the-fly base
+//                 hypervector generation. Bit-identical to stored mode by
+//                 construction; collapses encoder state from O(pixels x D)
+//                 to O(pixels).
+#ifndef UHD_COMMON_BANK_MODE_HPP
+#define UHD_COMMON_BANK_MODE_HPP
+
+namespace uhd {
+
+/// How an encoder holds its generated threshold/item-memory tables.
+enum class bank_mode {
+    stored,        ///< full table in memory, streamed by the kernels
+    rematerialize, ///< O(1) seeds per row; values regenerated on the fly
+};
+
+} // namespace uhd
+
+#endif // UHD_COMMON_BANK_MODE_HPP

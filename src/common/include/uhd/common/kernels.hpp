@@ -77,6 +77,24 @@ struct kernel_table {
                                  std::size_t dim, std::int32_t* out,
                                  std::uint8_t max_value);
 
+    /// Rematerializing encode tile: out[j] += sum_{p<npix}
+    /// ((sobol_fraction_p(d_begin + j) ^ shifts[p]) <= bounds[p]) for j in
+    /// [0, dim_count), where sobol_fraction_p(d) is the d-th 32-bit Sobol
+    /// fraction of pixel p's direction numbers (`dir_words` u32 words at
+    /// directions[p * dir_words], v_1 first). The caller folds the
+    /// quantization comparison into `bounds` (largest raw fraction whose
+    /// quantized value the pixel's intensity still reaches) and the
+    /// per-pixel scramble into `shifts`, so one unsigned compare per
+    /// (pixel, dim) replaces a stored-bank byte load. Pure integer
+    /// accumulation: any dim tiling over [d_begin, d_begin + dim_count) is
+    /// bit-identical to the stored-bank geq_block_accumulate.
+    void (*geq_rematerialize_accumulate)(const std::uint32_t* directions,
+                                         std::size_t dir_words,
+                                         const std::uint32_t* shifts,
+                                         const std::uint32_t* bounds,
+                                         std::size_t npix, std::uint64_t d_begin,
+                                         std::size_t dim_count, std::int32_t* out);
+
     /// Pack the sign bits of an int32 span (bit 1 = v[d] < 0) into
     /// ceil(n/64) words, zeroing the tail bits beyond n.
     void (*sign_binarize)(const std::int32_t* v, std::size_t n,
@@ -196,6 +214,16 @@ inline void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
                                  std::size_t dim, std::int32_t* out,
                                  std::uint8_t max_value) {
     active().geq_block_accumulate(q, npix, bank, stride, dim, out, max_value);
+}
+
+inline void geq_rematerialize_accumulate(const std::uint32_t* directions,
+                                         std::size_t dir_words,
+                                         const std::uint32_t* shifts,
+                                         const std::uint32_t* bounds,
+                                         std::size_t npix, std::uint64_t d_begin,
+                                         std::size_t dim_count, std::int32_t* out) {
+    active().geq_rematerialize_accumulate(directions, dir_words, shifts, bounds,
+                                          npix, d_begin, dim_count, out);
 }
 
 inline void sign_binarize(const std::int32_t* v, std::size_t n,

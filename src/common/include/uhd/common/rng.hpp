@@ -86,6 +86,17 @@ public:
     /// Fair coin flip.
     bool next_bool() noexcept { return (next() >> 63) != 0; }
 
+    /// Raw state snapshot — a rematerialization restart point.
+    [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+    /// Rebuild a generator positioned at a captured snapshot.
+    [[nodiscard]] static xoshiro256ss from_state(
+        const std::array<std::uint64_t, 4>& state) noexcept {
+        xoshiro256ss g(0);
+        g.state_ = state;
+        return g;
+    }
+
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
         return (x << k) | (x >> (64 - k));

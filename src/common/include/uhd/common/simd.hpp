@@ -196,6 +196,107 @@ inline void geq_block_accumulate_swar(const std::uint8_t* q, std::size_t npix,
     }
 }
 
+// --- rematerializing encode kernels ---------------------------------------
+//
+// out[j] += sum_{p} ((sobol_fraction_p(d_begin + j) ^ shifts[p]) <=
+// bounds[p]) — the geq accumulation with the stored bank replaced by
+// on-the-fly Sobol regeneration. Pixel p's direction numbers are the
+// `dir_words` u32 words at directions[p * dir_words]; the caller guarantees
+// dir_words >= bit_width(d_begin + dim_count), which covers every
+// countr_zero index the Gray-code stepping can produce (the encoder passes
+// bit_width(dim)). The comparison against the quantized intensity is folded
+// into `bounds` (largest raw fraction the pixel's intensity still reaches)
+// and the scramble into `shifts`, so the stored-bank byte compare becomes
+// one u32 unsigned compare — bit-identical to geq_block_accumulate on the
+// materialized bank for every tile split of [0, dim).
+//
+// The blocked implementations exploit gray(16m + k) = gray(16m) ^ gray(k):
+// a 16-entry per-pixel delta table turns the serial Gray-code recurrence
+// into 16 independent XOR+compare lanes per block, with one table step
+// (base ^= v[countr_zero(m + 1) + 4]) between blocks.
+
+/// Pinned scalar oracle: serial Gray-code stepping, one compare per
+/// (pixel, dim). The baseline the blocked/wide kernels are tested against.
+UHD_SCALAR_REFERENCE inline void geq_rematerialize_accumulate_reference(
+    const std::uint32_t* directions, std::size_t dir_words,
+    const std::uint32_t* shifts, const std::uint32_t* bounds, std::size_t npix,
+    std::uint64_t d_begin, std::size_t dim_count, std::int32_t* out) noexcept {
+    for (std::size_t p = 0; p < npix; ++p) {
+        const std::uint32_t* v = directions + p * dir_words;
+        // Seek to the tile start via the Gray-code closed form, scramble
+        // key folded in so the inner compare needs no XOR.
+        std::uint32_t state = shifts[p];
+        for (std::uint64_t g = d_begin ^ (d_begin >> 1); g != 0; g &= g - 1) {
+            state ^= v[std::countr_zero(g)];
+        }
+        const std::uint32_t bound = bounds[p];
+        std::uint64_t index = d_begin;
+        UHD_NOVECTOR_LOOP
+        for (std::size_t j = 0; j < dim_count; ++j) {
+            out[j] += static_cast<std::int32_t>(state <= bound);
+            state ^= v[std::countr_zero(index + 1)];
+            ++index;
+        }
+    }
+}
+
+/// Build the 16-entry Gray-code delta table over v[0..3]:
+/// delta[k] = XOR of v[i] over the set bits of gray(k).
+inline void remat_delta_table(const std::uint32_t* v,
+                              std::uint32_t delta[16]) noexcept {
+    delta[0] = 0;
+    for (unsigned k = 1; k < 16; ++k) {
+        delta[k] = delta[k - 1] ^ v[std::countr_zero(k)];
+    }
+}
+
+/// Portable blocked kernel: 16-dimension blocks through the delta table
+/// (the compiler is free to vectorize the 16 independent lanes), scalar
+/// stepping for the unaligned head/tail. Bit-identical to the reference.
+inline void geq_rematerialize_accumulate_portable(
+    const std::uint32_t* directions, std::size_t dir_words,
+    const std::uint32_t* shifts, const std::uint32_t* bounds, std::size_t npix,
+    std::uint64_t d_begin, std::size_t dim_count, std::int32_t* out) noexcept {
+    for (std::size_t p = 0; p < npix; ++p) {
+        const std::uint32_t* v = directions + p * dir_words;
+        std::uint32_t state = shifts[p];
+        for (std::uint64_t g = d_begin ^ (d_begin >> 1); g != 0; g &= g - 1) {
+            state ^= v[std::countr_zero(g)];
+        }
+        const std::uint32_t bound = bounds[p];
+        std::uint64_t index = d_begin;
+        const std::uint64_t end = d_begin + dim_count;
+        std::size_t j = 0;
+        if (dir_words < 5) {
+            // Dimension too small for 16-blocks (delta table and block
+            // stepping need v[0..4]); plain serial stepping.
+            for (; index < end; ++index, ++j) {
+                out[j] += static_cast<std::int32_t>(state <= bound);
+                state ^= v[std::countr_zero(index + 1)];
+            }
+            continue;
+        }
+        for (; index < end && (index & 15) != 0; ++index, ++j) {
+            out[j] += static_cast<std::int32_t>(state <= bound);
+            state ^= v[std::countr_zero(index + 1)];
+        }
+        std::uint32_t delta[16];
+        remat_delta_table(v, delta);
+        for (; index + 16 <= end; index += 16, j += 16) {
+            for (unsigned k = 0; k < 16; ++k) {
+                out[j + k] += static_cast<std::int32_t>((state ^ delta[k]) <= bound);
+            }
+            // Block step 16m -> 16(m+1): gray(16m) ^ gray(16m + 16) has
+            // exactly bits {3, countr_zero(m + 1) + 4} set.
+            state ^= v[3] ^ v[std::countr_zero((index >> 4) + 1) + 4];
+        }
+        for (; index < end; ++index, ++j) {
+            out[j] += static_cast<std::int32_t>(state <= bound);
+            state ^= v[std::countr_zero(index + 1)];
+        }
+    }
+}
+
 // --- sign-binarize kernels ------------------------------------------------
 //
 // Pack the sign bits of an int32 accumulator span into 64-bit words under

@@ -127,6 +127,71 @@ void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
     }
 }
 
+// --- rematerializing encode kernel ----------------------------------------
+
+/// Gray-code 16-blocks as two 8-lane vectors: the broadcast base state is
+/// XORed with the per-pixel delta table (gray(16m + k) = gray(16m) ^
+/// gray(k)), the unsigned compare against the pixel's bound is
+/// min_epu32 + cmpeq, and the -1/0 lane mask subtracts as +1/0 into the
+/// int32 out tile. Unaligned head/tail run the serial Gray-code recurrence
+/// — pure integer accumulation, bit-identical to the scalar reference.
+void geq_rematerialize_accumulate(const std::uint32_t* directions,
+                                  std::size_t dir_words, const std::uint32_t* shifts,
+                                  const std::uint32_t* bounds, std::size_t npix,
+                                  std::uint64_t d_begin, std::size_t dim_count,
+                                  std::int32_t* out) {
+    for (std::size_t p = 0; p < npix; ++p) {
+        const std::uint32_t* v = directions + p * dir_words;
+        std::uint32_t state = shifts[p];
+        for (std::uint64_t g = d_begin ^ (d_begin >> 1); g != 0; g &= g - 1) {
+            state ^= v[std::countr_zero(g)];
+        }
+        const std::uint32_t bound = bounds[p];
+        std::uint64_t index = d_begin;
+        const std::uint64_t end = d_begin + dim_count;
+        std::size_t j = 0;
+        if (dir_words < 5) {
+            // Dimension too small for 16-blocks (delta table and block
+            // stepping need v[0..4]); plain serial stepping.
+            for (; index < end; ++index, ++j) {
+                out[j] += static_cast<std::int32_t>(state <= bound);
+                state ^= v[std::countr_zero(index + 1)];
+            }
+            continue;
+        }
+        for (; index < end && (index & 15) != 0; ++index, ++j) {
+            out[j] += static_cast<std::int32_t>(state <= bound);
+            state ^= v[std::countr_zero(index + 1)];
+        }
+        alignas(32) std::uint32_t delta[16];
+        delta[0] = 0;
+        for (unsigned k = 1; k < 16; ++k) {
+            delta[k] = delta[k - 1] ^ v[std::countr_zero(k)];
+        }
+        const __m256i dlo = _mm256_load_si256(reinterpret_cast<const __m256i*>(delta));
+        const __m256i dhi =
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(delta + 8));
+        const __m256i vb = _mm256_set1_epi32(static_cast<int>(bound));
+        for (; index + 16 <= end; index += 16, j += 16) {
+            const __m256i base = _mm256_set1_epi32(static_cast<int>(state));
+            const __m256i x0 = _mm256_xor_si256(base, dlo);
+            const __m256i x1 = _mm256_xor_si256(base, dhi);
+            const __m256i le0 = _mm256_cmpeq_epi32(_mm256_min_epu32(x0, vb), x0);
+            const __m256i le1 = _mm256_cmpeq_epi32(_mm256_min_epu32(x1, vb), x1);
+            __m256i* o0 = reinterpret_cast<__m256i*>(out + j);
+            __m256i* o1 = reinterpret_cast<__m256i*>(out + j + 8);
+            _mm256_storeu_si256(o0, _mm256_sub_epi32(_mm256_loadu_si256(o0), le0));
+            _mm256_storeu_si256(o1, _mm256_sub_epi32(_mm256_loadu_si256(o1), le1));
+            // Block step 16m -> 16(m+1): gray difference bits {3, ctz(m+1)+4}.
+            state ^= v[3] ^ v[std::countr_zero((index >> 4) + 1) + 4];
+        }
+        for (; index < end; ++index, ++j) {
+            out[j] += static_cast<std::int32_t>(state <= bound);
+            state ^= v[std::countr_zero(index + 1)];
+        }
+    }
+}
+
 // --- sign binarize --------------------------------------------------------
 
 /// movemask over eight int32 lanes yields eight sign bits per load, so one
@@ -427,6 +492,7 @@ std::int64_t masked_sum_i32(const std::uint64_t* mask, const std::int32_t* v,
 constexpr kernel_table table{
     "avx2",            supported,
     geq_accumulate,    geq_block_accumulate,
+    geq_rematerialize_accumulate,
     sign_binarize,     hamming_distance_words,
     hamming_argmin,    hamming_argmin2_prefix,
     hamming_extend_words,

@@ -163,6 +163,68 @@ void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
     }
 }
 
+// --- rematerializing encode kernel ----------------------------------------
+
+/// Gray-code 16-blocks as one 16-lane vector: the broadcast base state is
+/// XORed with the per-pixel delta table (gray(16m + k) = gray(16m) ^
+/// gray(k)), the unsigned compare against the pixel's bound is one
+/// cmple_epu32 to a __mmask16, and a masked subtract of -1 adds the
+/// comparison results into the int32 out tile. Unaligned head/tail run the
+/// serial Gray-code recurrence — pure integer accumulation, bit-identical
+/// to the scalar reference. No popcount involved, so no flavor split.
+void geq_rematerialize_accumulate(const std::uint32_t* directions,
+                                  std::size_t dir_words, const std::uint32_t* shifts,
+                                  const std::uint32_t* bounds, std::size_t npix,
+                                  std::uint64_t d_begin, std::size_t dim_count,
+                                  std::int32_t* out) {
+    const __m512i minus_one32 = _mm512_set1_epi32(-1);
+    for (std::size_t p = 0; p < npix; ++p) {
+        const std::uint32_t* v = directions + p * dir_words;
+        std::uint32_t state = shifts[p];
+        for (std::uint64_t g = d_begin ^ (d_begin >> 1); g != 0; g &= g - 1) {
+            state ^= v[std::countr_zero(g)];
+        }
+        const std::uint32_t bound = bounds[p];
+        std::uint64_t index = d_begin;
+        const std::uint64_t end = d_begin + dim_count;
+        std::size_t j = 0;
+        if (dir_words < 5) {
+            // Dimension too small for 16-blocks (delta table and block
+            // stepping need v[0..4]); plain serial stepping.
+            for (; index < end; ++index, ++j) {
+                out[j] += static_cast<std::int32_t>(state <= bound);
+                state ^= v[std::countr_zero(index + 1)];
+            }
+            continue;
+        }
+        for (; index < end && (index & 15) != 0; ++index, ++j) {
+            out[j] += static_cast<std::int32_t>(state <= bound);
+            state ^= v[std::countr_zero(index + 1)];
+        }
+        alignas(64) std::uint32_t delta[16];
+        delta[0] = 0;
+        for (unsigned k = 1; k < 16; ++k) {
+            delta[k] = delta[k - 1] ^ v[std::countr_zero(k)];
+        }
+        const __m512i dv = _mm512_load_si512(delta);
+        const __m512i vb = _mm512_set1_epi32(static_cast<int>(bound));
+        for (; index + 16 <= end; index += 16, j += 16) {
+            const __m512i x =
+                _mm512_xor_si512(_mm512_set1_epi32(static_cast<int>(state)), dv);
+            const __mmask16 le = _mm512_cmple_epu32_mask(x, vb);
+            const __m512i o = _mm512_loadu_si512(out + j);
+            _mm512_storeu_si512(out + j,
+                                _mm512_mask_sub_epi32(o, le, o, minus_one32));
+            // Block step 16m -> 16(m+1): gray difference bits {3, ctz(m+1)+4}.
+            state ^= v[3] ^ v[std::countr_zero((index >> 4) + 1) + 4];
+        }
+        for (; index < end; ++index, ++j) {
+            out[j] += static_cast<std::int32_t>(state <= bound);
+            state ^= v[std::countr_zero(index + 1)];
+        }
+    }
+}
+
 // --- sign binarize --------------------------------------------------------
 
 /// Sixteen int32 sign bits per compare-to-mask (AVX-512F — no DQ movepi
@@ -359,6 +421,7 @@ std::int64_t masked_sum_i32(const std::uint64_t* mask, const std::int32_t* v,
 constexpr kernel_table table{
     "avx512",          supported,
     geq_accumulate,    geq_block_accumulate,
+    geq_rematerialize_accumulate,
     sign_binarize,     hamming_distance_words,
     hamming_argmin,    hamming_argmin2_prefix,
     hamming_extend_words,

@@ -40,6 +40,16 @@ void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
     if (pixels_in_tile != 0) simd::add_u16_to_i32(tile.data(), dim, out);
 }
 
+void geq_rematerialize_accumulate(const std::uint32_t* directions,
+                                  std::size_t dir_words, const std::uint32_t* shifts,
+                                  const std::uint32_t* bounds, std::size_t npix,
+                                  std::uint64_t d_begin, std::size_t dim_count,
+                                  std::int32_t* out) {
+    simd::geq_rematerialize_accumulate_reference(directions, dir_words, shifts,
+                                                 bounds, npix, d_begin, dim_count,
+                                                 out);
+}
+
 void sign_binarize(const std::int32_t* v, std::size_t n, std::uint64_t* words) {
     simd::sign_binarize_reference(v, n, words);
 }
@@ -108,6 +118,7 @@ std::int64_t masked_sum_i32(const std::uint64_t* mask, const std::int32_t* v,
 constexpr kernel_table table{
     "scalar",          supported,
     geq_accumulate,    geq_block_accumulate,
+    geq_rematerialize_accumulate,
     sign_binarize,     hamming_distance_words,
     hamming_argmin,    hamming_argmin2_prefix,
     hamming_extend_words,

@@ -33,6 +33,18 @@ void geq_block_accumulate(const std::uint8_t* q, std::size_t npix,
     }
 }
 
+void geq_rematerialize_accumulate(const std::uint32_t* directions,
+                                  std::size_t dir_words, const std::uint32_t* shifts,
+                                  const std::uint32_t* bounds, std::size_t npix,
+                                  std::uint64_t d_begin, std::size_t dim_count,
+                                  std::int32_t* out) {
+    // u32 compares have no SWAR packing win; the blocked portable body (16
+    // independent lanes per Gray block) is the fast generic implementation.
+    simd::geq_rematerialize_accumulate_portable(directions, dir_words, shifts,
+                                                bounds, npix, d_begin, dim_count,
+                                                out);
+}
+
 void sign_binarize(const std::int32_t* v, std::size_t n, std::uint64_t* words) {
     simd::sign_binarize_swar(v, n, words);
 }
@@ -100,6 +112,7 @@ std::int64_t masked_sum_i32(const std::uint64_t* mask, const std::int32_t* v,
 constexpr kernel_table table{
     "swar",            supported,
     geq_accumulate,    geq_block_accumulate,
+    geq_rematerialize_accumulate,
     sign_binarize,     hamming_distance_words,
     hamming_argmin,    hamming_argmin2_prefix,
     hamming_extend_words,

@@ -1,6 +1,7 @@
 #include "uhd/core/encoder.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "uhd/bitstream/unary.hpp"
@@ -11,11 +12,36 @@
 namespace uhd::core {
 
 uhd_encoder::uhd_encoder(const uhd_config& config, data::image_shape shape)
-    : uhd_encoder(config, shape,
-                  ld::quantized_sobol_bank(
-                      ld::sobol_directions::standard(shape.pixels(), config.sobol_seed),
-                      shape.pixels(), config.dim, config.quant_levels,
-                      config.scramble ? config.sobol_seed : 0)) {}
+    : config_(config),
+      shape_(shape),
+      directions_(ld::sobol_directions::standard(shape.pixels(), config.sobol_seed)),
+      ust_(config.quant_levels, config.stream_length()) {
+    UHD_REQUIRE(config.dim >= 64, "dimension too small to be hyperdimensional");
+    UHD_REQUIRE(shape.channels == 1, "uHD encoder expects grayscale images");
+
+    if (config_.bank == bank_mode::stored) {
+        bank_.emplace(directions_, shape_.pixels(), config_.dim, config_.quant_levels,
+                      config_.scramble ? config_.sobol_seed : 0);
+    } else {
+        // O(pixels) generator state instead of the O(pixels * D) bank:
+        // bit_width(dim) direction words cover every Gray-code advance the
+        // kernels perform for point indices <= dim (including the final
+        // countr_zero(dim) state step), one digital-shift word per pixel,
+        // and one shared bound per quantization level.
+        dir_words_ = std::bit_width(config_.dim);
+        UHD_REQUIRE(dir_words_ <= static_cast<std::size_t>(ld::sobol_bits),
+                    "dimension exceeds the 32-bit Sobol generator range");
+        remat_dirs_.resize(shape_.pixels() * dir_words_);
+        shifts_.resize(shape_.pixels());
+        for (std::size_t p = 0; p < shape_.pixels(); ++p) {
+            const auto dirs = directions_.direction_numbers(p);
+            std::copy_n(dirs.data(), dir_words_, remat_dirs_.data() + p * dir_words_);
+            shifts_[p] = pixel_shift(p);
+        }
+        bound_table_ = ld::quantize_bounds(config_.quant_levels);
+    }
+    build_tables();
+}
 
 uhd_encoder::uhd_encoder(const uhd_config& config, data::image_shape shape,
                          ld::quantized_sobol_bank custom_bank)
@@ -24,26 +50,71 @@ uhd_encoder::uhd_encoder(const uhd_config& config, data::image_shape shape,
       directions_(ld::sobol_directions::standard(shape.pixels(), config.sobol_seed)),
       bank_(std::move(custom_bank)),
       ust_(config.quant_levels, config.stream_length()) {
+    UHD_REQUIRE(config.bank == bank_mode::stored,
+                "a custom threshold bank has no generator to rematerialize from");
     UHD_REQUIRE(config.dim >= 64, "dimension too small to be hyperdimensional");
     UHD_REQUIRE(shape.channels == 1, "uHD encoder expects grayscale images");
-    UHD_REQUIRE(bank_.dims() == shape.pixels() && bank_.samples() == config.dim &&
-                    bank_.levels() == config.quant_levels,
+    UHD_REQUIRE(bank_->dims() == shape.pixels() && bank_->samples() == config.dim &&
+                    bank_->levels() == config.quant_levels,
                 "threshold bank geometry does not match the configuration");
+    build_tables();
+}
 
+std::uint32_t uhd_encoder::pixel_shift(std::size_t p) const noexcept {
+    // The quantized_sobol_bank ctor's formula, so rematerialized rows are
+    // byte-identical to stored ones (including the seed-0 no-shift case).
+    if (!config_.scramble || config_.sobol_seed == 0) return 0;
+    return static_cast<std::uint32_t>(
+        hash64(config_.sobol_seed ^ (0x9e3779b9ULL * (p + 1))));
+}
+
+void uhd_encoder::materialize_row(std::size_t p, std::uint8_t* row) const {
+    ld::sobol_sequence seq(directions_.direction_numbers(p));
+    const std::uint32_t shift = pixel_shift(p);
+    for (std::size_t i = 0; i < config_.dim; ++i) {
+        const std::uint32_t fraction = seq.next_fraction() ^ shift;
+        row[i] = ld::quantize_unit(ld::sobol_sequence::fraction_to_unit(fraction),
+                                   config_.quant_levels);
+    }
+}
+
+void uhd_encoder::build_tables() {
     for (unsigned x = 0; x < 256; ++x) {
         quant_lut_[x] = ld::quantize_unit(static_cast<double>(x) / 255.0,
                                           config_.quant_levels);
     }
 
     // Per-pixel threshold CDF: how many of the pixel's D thresholds a given
-    // quantized intensity reaches. Used for exact mean-centering.
+    // quantized intensity reaches. Used for exact mean-centering. In
+    // rematerialize mode the rows are streamed through once here and then
+    // discarded — the CDF sidecar stays, the bank does not.
     const unsigned xi = config_.quant_levels;
     cdf_counts_.assign(shape_.pixels() * xi, 0);
+    std::vector<std::uint8_t> scratch;
+    if (!bank_) scratch.resize(config_.dim);
     for (std::size_t p = 0; p < shape_.pixels(); ++p) {
         std::uint32_t* cdf = cdf_counts_.data() + p * xi;
-        for (const std::uint8_t s : bank_.row(p)) ++cdf[s];
+        std::span<const std::uint8_t> row;
+        if (bank_) {
+            row = bank_->row(p);
+        } else {
+            materialize_row(p, scratch.data());
+            row = {scratch.data(), config_.dim};
+        }
+        for (const std::uint8_t s : row) ++cdf[s];
         for (unsigned q = 1; q < xi; ++q) cdf[q] += cdf[q - 1];
     }
+}
+
+std::span<const std::uint8_t> uhd_encoder::sobol_row(std::size_t p) const {
+    if (bank_) return bank_->row(p);
+    UHD_REQUIRE(p < shape_.pixels(), "bank dimension out of range");
+    // Reused per thread: gate-exact unary encode and the datapath simulator
+    // fetch rows one pixel at a time.
+    static thread_local std::vector<std::uint8_t> row;
+    row.resize(config_.dim);
+    materialize_row(p, row.data());
+    return {row.data(), row.size()};
 }
 
 std::int32_t uhd_encoder::doubled_threshold(std::span<const std::uint8_t> image) const {
@@ -82,9 +153,31 @@ void uhd_encoder::encode(std::span<const std::uint8_t> image,
         quantized[p] = quantize_intensity(image[p]);
     }
     std::fill(out.begin(), out.end(), 0);
-    kernels::geq_block_accumulate(quantized.data(), quantized.size(),
-                                  bank_.data().data(), bank_.samples(), config_.dim,
-                                  out.data(), max_value);
+    if (config_.bank == bank_mode::rematerialize) {
+        // Fused rematerializing path: translate each pixel's quantized
+        // intensity into a raw-fraction bound (state <= bound is exactly
+        // q >= quantized threshold; see ld::quantize_bounds), then let the
+        // kernel regenerate the Sobol stream in registers. D-tiles keep the
+        // int32 accumulator slice L1-resident; integer accumulation makes
+        // every tile split bit-identical.
+        static thread_local std::vector<std::uint32_t> pixel_bounds;
+        pixel_bounds.resize(image.size());
+        for (std::size_t p = 0; p < image.size(); ++p) {
+            pixel_bounds[p] = bound_table_[quantized[p]];
+        }
+        constexpr std::size_t tile = 4096;
+        for (std::size_t d0 = 0; d0 < config_.dim; d0 += tile) {
+            const std::size_t count = std::min(tile, config_.dim - d0);
+            kernels::geq_rematerialize_accumulate(remat_dirs_.data(), dir_words_,
+                                                  shifts_.data(), pixel_bounds.data(),
+                                                  image.size(), d0, count,
+                                                  out.data() + d0);
+        }
+    } else {
+        kernels::geq_block_accumulate(quantized.data(), quantized.size(),
+                                      bank_->data().data(), bank_->samples(),
+                                      config_.dim, out.data(), max_value);
+    }
     const std::int32_t tau2 = doubled_threshold(image);
     for (std::size_t d = 0; d < config_.dim; ++d) {
         out[d] = 2 * out[d] - tau2;
@@ -106,7 +199,7 @@ void uhd_encoder::encode_scalar(std::span<const std::uint8_t> image,
     std::size_t pixels_in_tile = 0;
     for (std::size_t p = 0; p < image.size(); ++p) {
         const std::uint8_t q = quantize_intensity(image[p]);
-        simd::geq_accumulate_reference(q, bank_.row(p).data(), config_.dim, geq.data());
+        simd::geq_accumulate_reference(q, sobol_row(p).data(), config_.dim, geq.data());
         if (++pixels_in_tile == 65535) {
             simd::add_u16_to_i32(geq.data(), config_.dim, totals.data());
             std::fill(geq.begin(), geq.end(), std::uint16_t{0});
@@ -167,7 +260,7 @@ void uhd_encoder::encode_unary(std::span<const std::uint8_t> image,
     for (std::size_t p = 0; p < image.size(); ++p) {
         // Fetch the intensity's unary stream from the UST (Fig. 3(c))...
         const bs::bitstream& data_stream = ust_.fetch(quantize_intensity(image[p]));
-        const std::uint8_t* row = bank_.row(p).data();
+        const std::uint8_t* row = sobol_row(p).data();
         for (std::size_t d = 0; d < config_.dim; ++d) {
             // ...and the Sobol scalar's stream, then run the Fig. 4 comparator.
             const bs::bitstream& sobol_stream = ust_.fetch(row[d]);
@@ -217,8 +310,18 @@ hdc::hypervector uhd_encoder::encode_sign(std::span<const std::uint8_t> image) c
     return hdc::hypervector(std::move(bits));
 }
 
+std::size_t uhd_encoder::threshold_bytes() const noexcept {
+    if (bank_) return bank_->memory_bytes();
+    return remat_dirs_.size() * sizeof(std::uint32_t) +
+           shifts_.size() * sizeof(std::uint32_t) +
+           bound_table_.size() * sizeof(std::uint32_t);
+}
+
 std::size_t uhd_encoder::memory_bytes() const noexcept {
-    return bank_.memory_bytes() + ust_.memory_bytes() + directions_.memory_bytes();
+    // Exact Table I accounting: every resident byte of encoder state,
+    // including the CDF sidecar and the 256-entry intensity LUT.
+    return threshold_bytes() + ust_.memory_bytes() + directions_.memory_bytes() +
+           cdf_counts_.size() * sizeof(std::uint32_t) + sizeof(quant_lut_);
 }
 
 } // namespace uhd::core

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "uhd/common/bank_mode.hpp"
 #include "uhd/lowdisc/sobol.hpp"
 
 namespace uhd::core {
@@ -48,6 +49,13 @@ struct uhd_config {
 
     /// Seed of the Sobol direction-number table (deterministic default).
     std::uint64_t sobol_seed = ld::sobol_directions::default_seed;
+
+    /// Threshold storage: keep the quantized Sobol bank resident (stored) or
+    /// regenerate each pixel's threshold row on the fly inside the encode
+    /// kernels from O(1) per-pixel generator state (rematerialize). Both
+    /// modes are bit-identical; rematerialize shrinks encoder threshold
+    /// state from O(pixels * D) to O(pixels) bytes.
+    bank_mode bank = bank_mode::stored;
 
     /// Unary stream length N; equals quant_levels in the paper's design.
     [[nodiscard]] std::size_t stream_length() const noexcept { return quant_levels; }

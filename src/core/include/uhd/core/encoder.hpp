@@ -33,6 +33,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -55,14 +56,21 @@ enum class unary_fidelity {
 /// Sobol-index-embedding level encoder (no position hypervectors).
 class uhd_encoder {
 public:
-    /// Build the quantized Sobol bank (the BRAM of Fig. 3(a)) and the unary
-    /// stream table for images of `shape`.
+    /// Build the threshold state for images of `shape` and the unary stream
+    /// table. With bank_mode::stored this materializes the quantized Sobol
+    /// bank (the BRAM of Fig. 3(a)); with bank_mode::rematerialize it keeps
+    /// only O(1) generator state per pixel (compact direction numbers, the
+    /// per-pixel digital shift, and the per-level fraction bounds) and the
+    /// encode kernels regenerate threshold rows on the fly. Both modes are
+    /// bit-identical on every encode path.
     uhd_encoder(const uhd_config& config, data::image_shape shape);
 
     /// Build with an externally supplied threshold bank (pixels x dim rows,
     /// values < config.quant_levels). This is the hook for the sequence-
     /// family ablation: identical datapath, different threshold source.
     /// The bank replaces the Sobol one; encode_exact() remains Sobol-based.
+    /// Requires bank_mode::stored — an arbitrary bank has no generator to
+    /// rematerialize from.
     uhd_encoder(const uhd_config& config, data::image_shape shape,
                 ld::quantized_sobol_bank custom_bank);
 
@@ -131,10 +139,11 @@ public:
     /// Encode and binarize (the image hypervector of Fig. 5).
     [[nodiscard]] hdc::hypervector encode_sign(std::span<const std::uint8_t> image) const;
 
-    /// The quantized Sobol thresholds of pixel `p` (BRAM row).
-    [[nodiscard]] std::span<const std::uint8_t> sobol_row(std::size_t p) const {
-        return bank_.row(p);
-    }
+    /// The quantized Sobol thresholds of pixel `p` (BRAM row). In stored
+    /// mode this is a view into the resident bank; in rematerialize mode
+    /// the row is regenerated into a per-thread buffer, so the span is
+    /// valid until the calling thread's next sobol_row() call.
+    [[nodiscard]] std::span<const std::uint8_t> sobol_row(std::size_t p) const;
 
     /// The unary stream table (Fig. 3(c)).
     [[nodiscard]] const bs::unary_stream_table& stream_table() const noexcept {
@@ -146,7 +155,15 @@ public:
         return directions_;
     }
 
-    /// Heap footprint: quantized Sobol bank + UST + direction table — the
+    /// Bytes of threshold state: the resident bank in stored mode, or the
+    /// compact per-pixel generator state (direction-number prefixes +
+    /// digital shifts + the shared bound table) in rematerialize mode.
+    /// This is the O(pixels * D) -> O(pixels) term the rematerializing
+    /// encoder shrinks; the bench footprint gate reads it directly.
+    [[nodiscard]] std::size_t threshold_bytes() const noexcept;
+
+    /// Heap footprint: threshold state + UST + direction table + the
+    /// per-pixel CDF sidecar + the intensity quantization LUT — the exact
     /// uHD dynamic-memory term in Table I.
     [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
@@ -154,15 +171,36 @@ private:
     uhd_config config_;
     data::image_shape shape_;
     ld::sobol_directions directions_;
-    ld::quantized_sobol_bank bank_;
+    // Threshold state, stored mode: the dense quantized bank (absent in
+    // rematerialize mode — that is the whole point).
+    std::optional<ld::quantized_sobol_bank> bank_;
     bs::unary_stream_table ust_;
+    // Threshold state, rematerialize mode: per-pixel generator state fed to
+    // kernels::geq_rematerialize_accumulate. remat_dirs_ holds the first
+    // dir_words_ = bit_width(dim) direction numbers of each pixel (all the
+    // Gray-code stepping for indices < dim can touch), shifts_ the
+    // per-pixel digital shift, and bound_table_[q] the largest raw fraction
+    // that quantizes to <= q (ld::quantize_bounds).
+    std::size_t dir_words_ = 0;
+    std::vector<std::uint32_t> remat_dirs_; // pixels x dir_words_
+    std::vector<std::uint32_t> shifts_;     // one per pixel
+    std::vector<std::uint32_t> bound_table_; // quant_levels entries
     // cdf_counts_[p * xi + q] = #{d : bank.row(p)[d] <= q}; makes the
     // mean_intensity TOB the exact per-dimension mean of the popcounts
     // (one small popcount table per pixel, Fig. 3(a)'s BRAM sidecar).
+    // Identical in both bank modes: rematerialize streams the same
+    // quantized rows through it at construction.
     std::vector<std::uint32_t> cdf_counts_;
     // quant_lut_[x] = quantize_unit(x / 255, xi) — one lookup per pixel on
     // the hot path instead of a double multiply + round.
     std::array<std::uint8_t, 256> quant_lut_{};
+
+    // Per-pixel digital shift (the bank ctor's formula; 0 when unscrambled).
+    [[nodiscard]] std::uint32_t pixel_shift(std::size_t p) const noexcept;
+    // Regenerate pixel p's quantized threshold row (dim values) into `row`.
+    void materialize_row(std::size_t p, std::uint8_t* row) const;
+    // Shared ctor tail: quantization LUT + per-pixel CDF sidecar.
+    void build_tables();
 };
 
 } // namespace uhd::core

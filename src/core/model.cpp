@@ -9,7 +9,11 @@ namespace uhd::core {
 namespace {
 
 constexpr std::uint32_t model_magic = 0x6d444875u; // "uHDm" little-endian
-constexpr std::uint32_t model_version = 1;
+// v2 appends the bank-mode word (seed-only serialization: the threshold
+// state is always regenerated from sobol_seed, never written to the file,
+// so the on-disk format is O(classes * D) in both modes). v1 files — the
+// stored-bank era — load as bank_mode::stored.
+constexpr std::uint32_t model_version = 2;
 
 // Geometry bounds shared by construction and load: every model the library
 // can build passes them (so save/load round-trips by construction), and a
@@ -111,6 +115,7 @@ void uhd_model::save(std::ostream& os) const {
     io::write_u64(os, classifier_.classes());
     io::write_u32(os, classifier_.mode() == hdc::train_mode::raw_sums ? 1u : 0u);
     io::write_u32(os, classifier_.inference() == hdc::query_mode::integer ? 1u : 0u);
+    io::write_u32(os, cfg.bank == bank_mode::rematerialize ? 1u : 0u);
     for (std::size_t c = 0; c < classifier_.classes(); ++c) {
         io::write_pod_span(os, classifier_.class_accumulator(c).values());
     }
@@ -127,7 +132,7 @@ void uhd_model::save_file(const std::string& path) const {
 }
 
 uhd_model uhd_model::load(std::istream& is) {
-    io::read_header(is, model_magic, model_version);
+    const std::uint32_t version = io::read_header(is, model_magic, model_version);
     uhd_config cfg;
     cfg.dim = static_cast<std::size_t>(io::read_u64(is));
     cfg.quant_levels = io::read_u32(is);
@@ -145,6 +150,9 @@ uhd_model uhd_model::load(std::istream& is) {
                                                         : hdc::train_mode::binarized_images;
     const hdc::query_mode inference = io::read_u32(is) == 1u ? hdc::query_mode::integer
                                                              : hdc::query_mode::binarized;
+    if (version >= 2) {
+        cfg.bank = io::read_u32(is) == 1u ? bank_mode::rematerialize : bank_mode::stored;
+    }
     uhd_model model(cfg, shape, classes, mode, inference);
     std::vector<hdc::accumulator> accumulators;
     accumulators.reserve(classes);

@@ -14,8 +14,10 @@ baseline_encoder::baseline_encoder(const baseline_config& config, data::image_sh
 
 void baseline_encoder::reseed(std::uint64_t seed) {
     config_.seed = seed;
-    positions_.emplace(shape_.pixels(), config_.dim, config_.source, hash64(seed));
-    levels_.emplace(config_.levels, config_.dim, config_.source, hash64(seed ^ 0xabcdULL));
+    positions_.emplace(shape_.pixels(), config_.dim, config_.source, hash64(seed),
+                       config_.bank);
+    levels_.emplace(config_.levels, config_.dim, config_.source,
+                    hash64(seed ^ 0xabcdULL), config_.bank);
 }
 
 void baseline_encoder::encode(std::span<const std::uint8_t> image,

@@ -27,6 +27,9 @@ struct baseline_config {
     std::size_t levels = 256;        ///< 2^n intensity levels (n = 8)
     randomness_source source = randomness_source::xoshiro;
     std::uint64_t seed = 1;          ///< iteration seed (regenerates P and L)
+    /// Keep the item memories resident (stored) or regenerate rows on the
+    /// fly from per-row generator state (rematerialize; bit-identical).
+    bank_mode bank = bank_mode::stored;
 };
 
 /// Position x Level encoder with packed item memories.

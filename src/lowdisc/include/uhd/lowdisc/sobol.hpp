@@ -108,6 +108,15 @@ private:
 /// This is the paper's Fig. 3(a) quantization rule.
 [[nodiscard]] std::uint8_t quantize_unit(double u, unsigned levels) noexcept;
 
+/// Per-level comparison bounds on the raw 32-bit fractions: bounds[q] is
+/// the largest fraction f with quantize_unit(fraction_to_unit(f), levels)
+/// <= q, so `q >= quantize(f)` is exactly `f <= bounds[q]`. Built by binary
+/// search against quantize_unit itself (monotone in f), so the equivalence
+/// holds for every representable fraction — the table that lets the
+/// rematerializing encoder replace a stored quantized threshold with one
+/// u32 compare. `levels` in [2, 256].
+[[nodiscard]] std::vector<std::uint32_t> quantize_bounds(unsigned levels);
+
 /// Dense bank of quantized Sobol thresholds: `dims` dimensions x `samples`
 /// points, each quantized to `levels` levels (the BRAM contents of Fig. 3(a)).
 ///
@@ -145,9 +154,10 @@ public:
         return {data_.data(), data_.size()};
     }
 
-    /// Heap footprint (Table I memory accounting).
+    /// Heap footprint (Table I memory accounting; exact — size(), not
+    /// capacity(), so the number gates cleanly in the benches).
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
-        return data_.capacity() * sizeof(std::uint8_t);
+        return data_.size() * sizeof(std::uint8_t);
     }
 
 private:

@@ -99,9 +99,11 @@ const sobol_dimension_params& sobol_directions::params(std::size_t dim) const {
 }
 
 std::size_t sobol_directions::memory_bytes() const noexcept {
-    std::size_t bytes = v_.capacity() * sizeof(std::uint32_t) +
-                        params_.capacity() * sizeof(sobol_dimension_params);
-    for (const auto& p : params_) bytes += p.initial_m.capacity() * sizeof(std::uint32_t);
+    // Exact footprint (size, not capacity): these numbers feed Table I and
+    // the bench footprint gates, so allocator slack must not inflate them.
+    std::size_t bytes = v_.size() * sizeof(std::uint32_t) +
+                        params_.size() * sizeof(sobol_dimension_params);
+    for (const auto& p : params_) bytes += p.initial_m.size() * sizeof(std::uint32_t);
     return bytes;
 }
 
@@ -157,6 +159,34 @@ std::uint8_t quantize_unit(double u, unsigned levels) noexcept {
     if (u >= 1.0) return static_cast<std::uint8_t>(levels - 1);
     const double scaled = u * static_cast<double>(levels - 1);
     return static_cast<std::uint8_t>(std::lround(scaled));
+}
+
+std::vector<std::uint32_t> quantize_bounds(unsigned levels) {
+    UHD_REQUIRE(levels >= 2 && levels <= 256, "quantization levels must be in [2, 256]");
+    std::vector<std::uint32_t> bounds(levels);
+    // Every fraction quantizes to at most levels - 1.
+    bounds[levels - 1] = ~std::uint32_t{0};
+    for (unsigned q = 0; q + 1 < levels; ++q) {
+        // Smallest fraction whose quantized value exceeds q (exists for
+        // q < levels - 1: the all-ones fraction quantizes to levels - 1).
+        // Binary search is exact because quantize_unit is nondecreasing in
+        // the fraction.
+        std::uint64_t lo = 0;
+        std::uint64_t hi = std::uint64_t{1} << 32;
+        while (lo < hi) {
+            const std::uint64_t mid = (lo + hi) / 2;
+            const std::uint8_t value = quantize_unit(
+                sobol_sequence::fraction_to_unit(static_cast<std::uint32_t>(mid)),
+                levels);
+            if (value > q) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        bounds[q] = static_cast<std::uint32_t>(lo - 1);
+    }
+    return bounds;
 }
 
 quantized_sobol_bank::quantized_sobol_bank(const sobol_directions& directions,

@@ -14,6 +14,10 @@ struct kernel_table {
     void (*alpha)(const std::uint8_t* q, std::size_t n);
     std::uint64_t (*beta)(const std::uint64_t* a, const std::uint64_t* b,
                           std::size_t n);
+    void (*geq_rematerialize_accumulate)(const std::uint32_t* directions,
+                                         std::size_t dir_words,
+                                         const std::uint32_t* bounds,
+                                         std::size_t npix, std::int32_t* out);
 };
 
 const kernel_table& active();

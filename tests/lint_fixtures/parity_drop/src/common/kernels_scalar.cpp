@@ -13,9 +13,14 @@ std::uint64_t beta(const std::uint64_t*, const std::uint64_t*, std::size_t) {
     return 0;
 }
 
+void geq_rematerialize_accumulate(const std::uint32_t*, std::size_t,
+                                  const std::uint32_t*, std::size_t,
+                                  std::int32_t*) {}
+
 constexpr kernel_table table{
     "scalar", supported,
     alpha,    beta,
+    geq_rematerialize_accumulate,
 };
 
 } // namespace

@@ -38,6 +38,14 @@ bool has(const std::vector<finding>& findings, const std::string& rule,
     });
 }
 
+std::size_t count_rule_at(const std::vector<finding>& findings, const std::string& rule,
+                          const std::string& file, std::size_t line) {
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(), [&](const finding& f) {
+            return f.rule == rule && f.file == file && f.line == line;
+        }));
+}
+
 std::string dump(const std::vector<finding>& findings) {
     std::string out;
     for (const finding& f : findings) {
@@ -91,17 +99,23 @@ TEST(UhdLint, IsaHermeticityFiresOnIntrinsicsInPortableCode) {
 TEST(UhdLint, KernelTableParityFiresOnDroppedSlotAndMissingTu) {
     const std::vector<finding> findings = lint_tree("parity_drop");
     // The acceptance-criteria seed: the swar backend dropped the `beta`
-    // slot — both the arity mismatch and the missing member must fire.
+    // and `geq_rematerialize_accumulate` slots — the arity mismatch and
+    // both missing members must fire (the latter proves the parity rule
+    // covers the rematerializing kernel slot).
     EXPECT_TRUE(has(findings, "kernel-table-parity",
                     "src/common/kernels_swar.cpp", 14))
         << dump(findings);
     EXPECT_TRUE(has(findings, "kernel-table-parity",
                     "src/common/kernels_swar.cpp", 1))
         << dump(findings);
+    EXPECT_EQ(count_rule_at(findings, "kernel-table-parity",
+                            "src/common/kernels_swar.cpp", 1),
+              2u)
+        << dump(findings);
     // A registered backend whose TU does not exist.
     EXPECT_TRUE(has(findings, "kernel-table-parity", "src/common/kernels.cpp", 19))
         << dump(findings);
-    EXPECT_EQ(findings.size(), 3u) << dump(findings);
+    EXPECT_EQ(findings.size(), 4u) << dump(findings);
     EXPECT_TRUE(only_rule(findings, "kernel-table-parity")) << dump(findings);
 }
 
