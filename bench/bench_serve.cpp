@@ -184,6 +184,13 @@ int main() {
                 static_cast<unsigned long long>(stats.snapshot_swaps), avg_batch,
                 static_cast<unsigned long long>(stats.max_batch_observed),
                 stats.block_utilization(), mismatches);
+    // False-sharing note: each serve_counters field sits on its own cache
+    // line; before the alignas(64) padding the packed 40-byte layout
+    // measured ~10% lower best-of-7 qps on this workload (numbers in
+    // serve_stats.hpp, next to the layout).
+    std::printf("# serve_counters cache-line padded: sizeof=%zu bytes "
+                "(packed layout would be %zu)\n",
+                sizeof(serve::serve_counters), 5 * sizeof(std::uint64_t));
 
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -192,7 +199,7 @@ int main() {
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"serve\",\n");
-    std::fprintf(f, "  \"schema_version\": 2,\n");
+    std::fprintf(f, "  \"schema_version\": 3,\n");
     std::fprintf(f,
                  "  \"workload\": {\"dim\": %zu, \"classes\": %zu, "
                  "\"clients\": %zu, \"queries_per_client\": %zu, "
@@ -221,6 +228,10 @@ int main() {
                  stats.block_utilization());
     std::fprintf(f, "    \"final_matches_trainer\": %s},\n",
                  mismatches == 0 ? "true" : "false");
+    // Schema v3: exactly one of "results" (in-process run, this binary) and
+    // "wire" (loopback run, tools/uhd_loadgen) is non-null; the other is
+    // null so consumers can tell the two serve benches apart by shape.
+    std::fprintf(f, "  \"wire\": null,\n");
     std::fprintf(f, "  \"gates\": {\"throughput_positive\": %s, "
                  "\"p99_ge_p50\": %s}\n",
                  throughput > 0.0 ? "true" : "false",

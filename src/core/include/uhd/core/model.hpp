@@ -30,6 +30,16 @@ public:
               hdc::train_mode mode = hdc::train_mode::raw_sums,
               hdc::query_mode inference = hdc::query_mode::integer);
 
+    // The classifier holds a non-owning pointer to encoder_, so the
+    // compiler-generated copy/move would leave it aimed at the source
+    // object (dangling once the source dies — NRVO hid this until a
+    // caller genuinely moved a model). These rebind it.
+    uhd_model(const uhd_model& other);
+    uhd_model(uhd_model&& other) noexcept;
+    uhd_model& operator=(const uhd_model& other);
+    uhd_model& operator=(uhd_model&& other) noexcept;
+    ~uhd_model() = default;
+
     /// Train on a dataset in one pass and return the model.
     [[nodiscard]] static uhd_model train(const uhd_config& config,
                                          const data::dataset& train_set,

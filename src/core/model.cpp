@@ -1,6 +1,7 @@
 #include "uhd/core/model.hpp"
 
 #include <fstream>
+#include <utility>
 
 #include "uhd/common/error.hpp"
 #include "uhd/common/io.hpp"
@@ -46,6 +47,35 @@ uhd_model::uhd_model(const uhd_config& config, data::image_shape shape,
                      hdc::query_mode inference)
     : encoder_((validate_geometry(config.dim, shape, classes), config), shape),
       classifier_(encoder_, classes, mode, inference) {}
+
+uhd_model::uhd_model(const uhd_model& other)
+    : encoder_(other.encoder_), classifier_(other.classifier_) {
+    classifier_.rebind_encoder(encoder_);
+}
+
+uhd_model::uhd_model(uhd_model&& other) noexcept
+    : encoder_(std::move(other.encoder_)),
+      classifier_(std::move(other.classifier_)) {
+    classifier_.rebind_encoder(encoder_);
+}
+
+uhd_model& uhd_model::operator=(const uhd_model& other) {
+    if (this != &other) {
+        encoder_ = other.encoder_;
+        classifier_ = other.classifier_;
+        classifier_.rebind_encoder(encoder_);
+    }
+    return *this;
+}
+
+uhd_model& uhd_model::operator=(uhd_model&& other) noexcept {
+    if (this != &other) {
+        encoder_ = std::move(other.encoder_);
+        classifier_ = std::move(other.classifier_);
+        classifier_.rebind_encoder(encoder_);
+    }
+    return *this;
+}
 
 uhd_model uhd_model::train(const uhd_config& config, const data::dataset& train_set,
                            hdc::train_mode mode, hdc::query_mode inference) {

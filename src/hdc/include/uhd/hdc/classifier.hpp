@@ -95,6 +95,15 @@ public:
     [[nodiscard]] query_mode inference() const noexcept { return state_.mode(); }
     [[nodiscard]] const Encoder& encoder() const noexcept { return *encoder_; }
 
+    /// Re-point this classifier at `encoder` (same geometry). For owners
+    /// that hold the encoder AND the classifier as members (uhd_model):
+    /// the classifier stores a non-owning pointer, so a move/copy of the
+    /// owner must rebind it to the owner's new encoder instance or it
+    /// silently keeps referencing the old (possibly destroyed) one.
+    void rebind_encoder(const Encoder& encoder) noexcept {
+        encoder_ = &encoder;
+    }
+
     /// Single-pass training over the dataset (labels must be < classes()).
     /// This is the sequential per-image loop — the oracle fit_parallel is
     /// tested against.

@@ -1,0 +1,63 @@
+// Thin RAII + setup helpers over POSIX TCP sockets — everything the wire
+// layer needs and nothing more (IPv4 loopback-oriented; the serve story
+// is a local or rack-local front-end, not a general network stack).
+#ifndef UHD_NET_SOCKET_HPP
+#define UHD_NET_SOCKET_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace uhd::net {
+
+/// Owning file descriptor: closes on destruction, move-only.
+class socket_fd {
+public:
+    socket_fd() = default;
+    explicit socket_fd(int fd) noexcept : fd_(fd) {}
+    socket_fd(const socket_fd&) = delete;
+    socket_fd& operator=(const socket_fd&) = delete;
+    socket_fd(socket_fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    socket_fd& operator=(socket_fd&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    ~socket_fd() { reset(); }
+
+    [[nodiscard]] int get() const noexcept { return fd_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+    /// Close the held descriptor (if any) and adopt `fd`.
+    void reset(int fd = -1) noexcept;
+
+    /// Give up ownership without closing.
+    [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+
+private:
+    int fd_ = -1;
+};
+
+/// Non-blocking IPv4 listener on 127.0.0.1:`port` (0 = ephemeral) with
+/// SO_REUSEADDR. Throws uhd::error on failure.
+[[nodiscard]] socket_fd listen_tcp(std::uint16_t port, int backlog);
+
+/// Blocking connect to `host`:`port` with TCP_NODELAY set. Throws
+/// uhd::error on failure.
+[[nodiscard]] socket_fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Flip O_NONBLOCK on. Throws uhd::error on failure.
+void set_nonblocking(int fd);
+
+/// Disable Nagle (small request/response frames; latency over batching).
+void set_tcp_nodelay(int fd);
+
+/// The locally bound port of a listening/connected socket.
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+} // namespace uhd::net
+
+#endif // UHD_NET_SOCKET_HPP

@@ -1,0 +1,178 @@
+// Epoll wire front-end for the serving engine — the "traffic actually
+// reaches the process" layer.
+//
+// Threading model (deliberately minimal):
+//
+//   clients ══ TCP ══▶ ONE event-loop thread ──try_submit()──▶ engine
+//                      (epoll, edge-triggered,                 workers
+//                       non-blocking accept4)                    │
+//                            ▲      ▲                            │
+//                            │      └── eventfd wakeup ◀── completion
+//                            └────────── write buffers          callback
+//
+// * The I/O layer owns no worker threads: one thread runs the epoll
+//   loop; inference parallelism stays where it already lives (the
+//   engine's micro-batch workers). Decoded queries move straight from
+//   the connection read buffer into the engine's request vector — one
+//   deserialize, zero further payload copies.
+// * Completions come back on worker threads; the callback only appends
+//   {connection, request_id, answer} to a mutex-guarded list and kicks
+//   an eventfd, so workers never touch sockets and the loop never waits
+//   on inference.
+// * Backpressure is layered the way the queue contract wants it: the
+//   engine queue is never blocked on — try_submit() full parks the
+//   request on its connection and the loop simply stops reading that
+//   socket (edge-triggered epoll makes "stop reading" free). A slow
+//   *reader* is throttled the same way: while a connection exceeds its
+//   in-flight cap or its write buffer is over the cap, its reads pause
+//   until completions drain / EPOLLOUT flushes. Sockets throttle;
+//   the queue never deadlocks, other connections never stall.
+// * Malformed traffic: protocol-poisoning frames (bad magic/version,
+//   oversized length) get one error frame, then the connection is
+//   flushed and closed; per-request junk (unknown opcode, bad payload)
+//   gets an error frame and the stream continues. Truncated frames
+//   simply wait for more bytes; EOF mid-frame closes after in-flight
+//   requests drain.
+#ifndef UHD_NET_WIRE_SERVER_HPP
+#define UHD_NET_WIRE_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "uhd/core/model.hpp"
+#include "uhd/net/socket.hpp"
+#include "uhd/net/wire_format.hpp"
+#include "uhd/net/wire_stats.hpp"
+#include "uhd/serve/inference_engine.hpp"
+
+namespace uhd::net {
+
+/// Wire front-end tuning knobs.
+struct wire_server_options {
+    /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back
+    /// with port()).
+    std::uint16_t port = 0;
+    /// listen() backlog.
+    int backlog = 128;
+    /// Per-connection cap on requests submitted but not yet answered;
+    /// reads pause above it (backpressure against slow readers and
+    /// against pipelining far past the engine's micro-batch depth).
+    std::size_t inflight_cap = 128;
+    /// Per-connection cap on buffered unsent reply bytes; reads pause
+    /// above it until EPOLLOUT drains the backlog.
+    std::size_t write_buffer_cap = 1 << 20;
+    /// Largest accepted payload_len; larger frames poison the stream
+    /// (error frame + disconnect).
+    std::uint32_t max_payload = 1 << 20;
+    /// partial_fit publishes a fresh snapshot to the engine every N fits
+    /// (and on the first fit). Amortizes snapshot finalization.
+    std::size_t publish_every = 64;
+};
+
+/// Single-threaded epoll server bridging TCP clients to an
+/// inference_engine (and optionally an online trainer).
+class wire_server {
+public:
+    /// Serve `engine` over TCP. `trainer`, when given, enables
+    /// partial_fit (the server is then the trainer's only writer thread);
+    /// raw-feature predict payloads need an encoder — `encoder` defaults
+    /// to the trainer's, so encoded-only inference servers can pass
+    /// neither. The engine must outlive the server.
+    explicit wire_server(serve::inference_engine& engine,
+                         wire_server_options options = {},
+                         core::uhd_model* trainer = nullptr,
+                         const core::uhd_encoder* encoder = nullptr);
+
+    wire_server(const wire_server&) = delete;
+    wire_server& operator=(const wire_server&) = delete;
+
+    /// stop()s; see there.
+    ~wire_server();
+
+    /// Bind, listen and spawn the event-loop thread. Throws uhd::error on
+    /// socket failures.
+    void start();
+
+    /// Shut down: stop accepting, close connections, join the loop
+    /// thread, and wait until every request already inside the engine has
+    /// completed (so no engine callback can outlive this object).
+    /// Idempotent.
+    void stop();
+
+    /// The bound TCP port (valid after start()).
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// Live wire counters (safe from any thread).
+    [[nodiscard]] wire_stats stats() const noexcept { return counters_.load(); }
+
+private:
+    struct connection;
+    struct completion {
+        std::uint64_t conn_id = 0;
+        std::uint32_t request_id = 0;
+        std::uint8_t reply_op = 0;
+        std::uint32_t label = 0;
+        std::uint64_t snapshot_version = 0;
+        bool failed = false;
+    };
+
+    void loop();
+    void accept_ready();
+    void drain_completions();
+    void pump_connection(connection& conn);
+    bool engine_stopped_guard(connection& conn);
+    bool parse_frames(connection& conn);
+    bool handle_frame(connection& conn, std::uint8_t op, std::uint32_t request_id,
+                      const std::uint8_t* payload, std::size_t payload_len);
+    bool handle_predict(connection& conn, std::uint8_t op, std::uint32_t request_id,
+                        const std::uint8_t* payload, std::size_t payload_len);
+    void handle_partial_fit(connection& conn, std::uint32_t request_id,
+                            const std::uint8_t* payload, std::size_t payload_len);
+    void handle_stats(connection& conn, std::uint32_t request_id);
+    bool submit_decoded(connection& conn, std::uint32_t request_id, bool dynamic,
+                        std::vector<std::int32_t>& encoded);
+    void queue_error(connection& conn, std::uint32_t request_id, wire_error code,
+                     const char* message);
+    void flush_writes(connection& conn);
+    void update_epoll_interest(connection& conn);
+    void close_connection(std::uint64_t conn_id);
+    [[nodiscard]] bool throttled(const connection& conn) const noexcept;
+
+    serve::inference_engine& engine_;
+    core::uhd_model* trainer_ = nullptr;
+    const core::uhd_encoder* encoder_ = nullptr;
+    wire_server_options options_;
+
+    socket_fd listener_;
+    socket_fd epoll_;
+    socket_fd wake_; ///< eventfd: completion arrivals + stop signal
+    std::uint16_t port_ = 0;
+    std::thread loop_thread_;
+    std::atomic<bool> running_{false};
+    std::mutex start_stop_mutex_; ///< serializes start()/stop() callers
+
+    std::uint64_t next_conn_id_ = 2; ///< 0 = listener, 1 = eventfd
+    std::unordered_map<std::uint64_t, std::unique_ptr<connection>> conns_;
+
+    // Completion mailbox: engine workers push, the loop drains. The
+    // outstanding count lets stop() wait until no callback can still be
+    // in flight.
+    std::mutex completions_mutex_;
+    std::vector<completion> completions_;
+    std::size_t outstanding_ = 0;
+    std::condition_variable outstanding_zero_;
+
+    std::uint64_t fits_ = 0; ///< cumulative partial_fit count (loop thread)
+    wire_counters counters_;
+};
+
+} // namespace uhd::net
+
+#endif // UHD_NET_WIRE_SERVER_HPP

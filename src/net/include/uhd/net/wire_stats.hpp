@@ -1,0 +1,82 @@
+// Wire front-end counters: relaxed atomics bumped by the event loop (and,
+// for completions, by engine workers), snapshotted into a plain struct.
+// Same consistency contract as serve_stats: individually consistent,
+// possibly torn across fields mid-flight.
+#ifndef UHD_NET_WIRE_STATS_HPP
+#define UHD_NET_WIRE_STATS_HPP
+
+#include <atomic>
+#include <cstdint>
+
+namespace uhd::net {
+
+/// Point-in-time view of the wire counters (plain data, safe to copy).
+struct wire_stats {
+    std::uint64_t connections_accepted = 0; ///< accept4() successes
+    std::uint64_t connections_active = 0;   ///< currently open connections
+    std::uint64_t frames_in = 0;            ///< complete request frames parsed
+    std::uint64_t frames_out = 0;           ///< reply/error frames queued
+    std::uint64_t bytes_in = 0;             ///< bytes read off sockets
+    std::uint64_t bytes_out = 0;            ///< bytes written to sockets
+    std::uint64_t malformed_frames = 0;     ///< frames answered with op_error
+    std::uint64_t throttle_events = 0;      ///< reads paused for backpressure
+};
+
+/// Live counters behind wire_server::stats(). The event loop is single
+/// threaded, but stats() is callable from any thread, so these are
+/// atomics; relaxed ordering — telemetry, not synchronization.
+class wire_counters {
+public:
+    void record_accept() noexcept {
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        active_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void record_close() noexcept {
+        active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    void record_frame_in() noexcept {
+        frames_in_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void record_frame_out() noexcept {
+        frames_out_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void record_bytes_in(std::uint64_t n) noexcept {
+        bytes_in_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void record_bytes_out(std::uint64_t n) noexcept {
+        bytes_out_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void record_malformed() noexcept {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void record_throttle() noexcept {
+        throttles_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] wire_stats load() const noexcept {
+        wire_stats out;
+        out.connections_accepted = accepted_.load(std::memory_order_relaxed);
+        out.connections_active = active_.load(std::memory_order_relaxed);
+        out.frames_in = frames_in_.load(std::memory_order_relaxed);
+        out.frames_out = frames_out_.load(std::memory_order_relaxed);
+        out.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+        out.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+        out.malformed_frames = malformed_.load(std::memory_order_relaxed);
+        out.throttle_events = throttles_.load(std::memory_order_relaxed);
+        return out;
+    }
+
+private:
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> active_{0};
+    std::atomic<std::uint64_t> frames_in_{0};
+    std::atomic<std::uint64_t> frames_out_{0};
+    std::atomic<std::uint64_t> bytes_in_{0};
+    std::atomic<std::uint64_t> bytes_out_{0};
+    std::atomic<std::uint64_t> malformed_{0};
+    std::atomic<std::uint64_t> throttles_{0};
+};
+
+} // namespace uhd::net
+
+#endif // UHD_NET_WIRE_STATS_HPP

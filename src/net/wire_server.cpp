@@ -1,0 +1,623 @@
+#include "uhd/net/wire_server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "uhd/common/error.hpp"
+#include "uhd/net/wire_format.hpp"
+
+namespace uhd::net {
+
+namespace {
+
+constexpr std::uint64_t listener_id = 0;
+constexpr std::uint64_t wake_id = 1;
+constexpr std::size_t read_chunk = 64 * 1024;
+
+} // namespace
+
+/// Per-connection state, owned by the event loop.
+struct wire_server::connection {
+    socket_fd sock;
+    std::uint64_t id = 0;
+
+    // Read side: bytes appended at the tail, frames parsed from rpos.
+    // Compacted when fully parsed (the steady state for well-behaved
+    // pipelining), so a payload is decoded exactly once, in place.
+    std::vector<std::uint8_t> rbuf;
+    std::size_t rpos = 0;
+    bool read_ready = false; ///< ET bookkeeping: EPOLLIN seen, EAGAIN not yet
+    bool peer_eof = false;   ///< read() returned 0; close once drained
+
+    // Write side: reply frames appended, flushed from wpos.
+    std::vector<std::uint8_t> wbuf;
+    std::size_t wpos = 0;
+    bool want_write = false; ///< EPOLLOUT currently armed
+
+    std::size_t inflight = 0;       ///< submitted, not yet answered
+    bool close_after_flush = false; ///< poisoned stream: flush error, close
+    bool throttle_counted = false;  ///< one throttle_event per pause episode
+
+    // A request the engine queue refused (full): retried before any new
+    // frame is parsed, preserving per-connection order.
+    struct parked_request {
+        std::vector<std::int32_t> encoded;
+        std::uint32_t request_id = 0;
+        bool dynamic = false;
+    };
+    std::optional<parked_request> parked;
+};
+
+wire_server::wire_server(serve::inference_engine& engine,
+                         wire_server_options options, core::uhd_model* trainer,
+                         const core::uhd_encoder* encoder)
+    : engine_(engine), trainer_(trainer),
+      encoder_(encoder != nullptr ? encoder
+                                  : (trainer != nullptr ? &trainer->encoder()
+                                                        : nullptr)),
+      options_(options) {
+    UHD_REQUIRE(options_.inflight_cap >= 1, "in-flight cap must be positive");
+    UHD_REQUIRE(options_.max_payload >= 1, "payload cap must be positive");
+    if (options_.publish_every == 0) options_.publish_every = 1;
+}
+
+wire_server::~wire_server() { stop(); }
+
+void wire_server::start() {
+    const std::lock_guard<std::mutex> lock(start_stop_mutex_);
+    UHD_REQUIRE(!running_.load(std::memory_order_acquire),
+                "wire_server already started");
+    listener_ = listen_tcp(options_.port, options_.backlog);
+    port_ = local_port(listener_.get());
+    epoll_.reset(::epoll_create1(EPOLL_CLOEXEC));
+    if (!epoll_.valid()) throw uhd::error("epoll_create1() failed");
+    wake_.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    if (!wake_.valid()) throw uhd::error("eventfd() failed");
+
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.u64 = listener_id;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &ev) != 0) {
+        throw uhd::error("epoll_ctl(listener) failed");
+    }
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.u64 = wake_id;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev) != 0) {
+        throw uhd::error("epoll_ctl(eventfd) failed");
+    }
+
+    running_.store(true, std::memory_order_release);
+    loop_thread_ = std::thread([this] { loop(); });
+}
+
+void wire_server::stop() {
+    const std::lock_guard<std::mutex> lock(start_stop_mutex_);
+    if (loop_thread_.joinable()) {
+        running_.store(false, std::memory_order_release);
+        const std::uint64_t one = 1;
+        // Best-effort kick; the loop also times out of epoll_wait.
+        [[maybe_unused]] const ssize_t n =
+            ::write(wake_.get(), &one, sizeof(one));
+        loop_thread_.join();
+    }
+    conns_.clear();
+    listener_.reset();
+    epoll_.reset();
+    // Wait out requests already inside the engine: their completion
+    // callbacks capture `this`, so none may run after destruction. The
+    // callbacks only touch the mailbox (connections are already gone).
+    std::unique_lock<std::mutex> pending(completions_mutex_);
+    outstanding_zero_.wait(pending, [this] { return outstanding_ == 0; });
+    completions_.clear();
+    wake_.reset();
+}
+
+void wire_server::loop() {
+    epoll_event events[64];
+    while (running_.load(std::memory_order_acquire)) {
+        const int n = ::epoll_wait(epoll_.get(), events, 64, 100);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break; // epoll fd gone: shutdown race
+        }
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t id = events[i].data.u64;
+            if (id == listener_id) {
+                accept_ready();
+                continue;
+            }
+            if (id == wake_id) {
+                std::uint64_t drained = 0;
+                while (::read(wake_.get(), &drained, sizeof(drained)) > 0) {
+                }
+                continue; // completions handled below, every iteration
+            }
+            const auto it = conns_.find(id);
+            if (it == conns_.end()) continue; // closed earlier this wake-up
+            connection& conn = *it->second;
+            if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+                close_connection(id);
+                continue;
+            }
+            if ((events[i].events & EPOLLIN) != 0) conn.read_ready = true;
+            if ((events[i].events & EPOLLOUT) != 0) flush_writes(conn);
+            if (conns_.find(id) == conns_.end()) continue; // flush closed it
+            pump_connection(conn);
+        }
+        // Completions may have arrived during the handling above (or the
+        // eventfd fired): deliver replies and un-throttle connections.
+        drain_completions();
+    }
+}
+
+void wire_server::accept_ready() {
+    while (true) {
+        const int fd = ::accept4(listener_.get(), nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (errno == EINTR) continue;
+            return; // transient accept failure; listener stays armed
+        }
+        auto conn = std::make_unique<connection>();
+        conn->sock.reset(fd);
+        conn->id = next_conn_id_++;
+        try {
+            set_tcp_nodelay(fd);
+        } catch (const uhd::error&) {
+            // Nagle stays on; correctness is unaffected.
+        }
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLET;
+        ev.data.u64 = conn->id;
+        if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+            continue; // connection dropped; socket_fd closes it
+        }
+        counters_.record_accept();
+        conns_.emplace(conn->id, std::move(conn));
+    }
+}
+
+void wire_server::drain_completions() {
+    std::vector<completion> batch;
+    {
+        const std::lock_guard<std::mutex> lock(completions_mutex_);
+        batch.swap(completions_);
+    }
+    if (batch.empty()) return;
+    for (const completion& done : batch) {
+        const auto it = conns_.find(done.conn_id);
+        if (it == conns_.end()) continue; // connection died while in flight
+        connection& conn = *it->second;
+        if (conn.inflight > 0) --conn.inflight;
+        std::uint8_t payload[12];
+        if (done.failed) {
+            queue_error(conn, done.request_id, wire_error::internal,
+                        "engine failed to answer");
+        } else {
+            store_u32(payload, done.label);
+            store_u64(payload + 4, done.snapshot_version);
+            append_frame(conn.wbuf, done.reply_op, done.request_id,
+                         std::span<const std::uint8_t>(payload, sizeof(payload)));
+            counters_.record_frame_out();
+        }
+    }
+    // Re-pump every touched connection once: flush the replies and, now
+    // that in-flight counts dropped, resume throttled reads.
+    for (const completion& done : batch) {
+        const auto it = conns_.find(done.conn_id);
+        if (it != conns_.end()) pump_connection(*it->second);
+    }
+}
+
+bool wire_server::throttled(const connection& conn) const noexcept {
+    return conn.parked.has_value() || conn.inflight >= options_.inflight_cap ||
+           conn.wbuf.size() - conn.wpos > options_.write_buffer_cap;
+}
+
+void wire_server::pump_connection(connection& conn) {
+    const std::uint64_t id = conn.id;
+    // Retry the parked request first: order within a connection is FIFO.
+    if (conn.parked.has_value() && !engine_stopped_guard(conn)) {
+        return; // helper closed the connection
+    }
+    while (true) {
+        // Parse whatever is already buffered.
+        if (!parse_frames(conn)) {
+            close_connection(id);
+            return;
+        }
+        if (conn.close_after_flush || conn.peer_eof) break;
+        if (throttled(conn)) {
+            if (!conn.throttle_counted) {
+                conn.throttle_counted = true;
+                counters_.record_throttle();
+            }
+            break; // stop reading: socket-level backpressure
+        }
+        conn.throttle_counted = false;
+        if (!conn.read_ready) break;
+        // Edge-triggered read: pull until EAGAIN or EOF. A short read is
+        // NOT treated as drained — a FIN that arrived alongside the last
+        // bytes is already pending and would never raise a fresh edge, so
+        // stopping early would strand the EOF (and the connection) forever.
+        const std::size_t base = conn.rbuf.size();
+        conn.rbuf.resize(base + read_chunk);
+        const ssize_t got =
+            ::recv(conn.sock.get(), conn.rbuf.data() + base, read_chunk, 0);
+        if (got > 0) {
+            conn.rbuf.resize(base + static_cast<std::size_t>(got));
+            counters_.record_bytes_in(static_cast<std::uint64_t>(got));
+            continue;
+        }
+        conn.rbuf.resize(base);
+        if (got == 0) {
+            conn.peer_eof = true;
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            conn.read_ready = false;
+            break;
+        }
+        if (errno == EINTR) continue;
+        close_connection(id);
+        return;
+    }
+    flush_writes(conn);
+    if (conns_.find(id) == conns_.end()) return; // flush hit a dead socket
+    // EOF: once nothing is in flight and nothing is buffered, we are done.
+    if (conn.peer_eof && conn.inflight == 0 && !conn.parked.has_value() &&
+        conn.wpos == conn.wbuf.size()) {
+        close_connection(id);
+        return;
+    }
+    if (conn.close_after_flush && conn.wpos == conn.wbuf.size() &&
+        conn.inflight == 0) {
+        close_connection(id);
+        return;
+    }
+    update_epoll_interest(conn);
+}
+
+/// Retry the parked request. Returns false when the connection was closed
+/// (engine stopped underneath us).
+bool wire_server::engine_stopped_guard(connection& conn) {
+    connection::parked_request& parked = *conn.parked;
+    try {
+        if (!submit_decoded(conn, parked.request_id, parked.dynamic,
+                            parked.encoded)) {
+            return true; // still full: stay parked, stay throttled
+        }
+    } catch (const uhd::error&) {
+        close_connection(conn.id);
+        return false;
+    }
+    conn.parked.reset();
+    return true;
+}
+
+bool wire_server::parse_frames(connection& conn) {
+    while (!conn.close_after_flush && !throttled(conn)) {
+        const std::size_t avail = conn.rbuf.size() - conn.rpos;
+        if (avail < wire_header_size) break;
+        const std::uint8_t* base = conn.rbuf.data() + conn.rpos;
+        const frame_header header = decode_header(base);
+        if (header.magic != wire_magic) {
+            counters_.record_malformed();
+            queue_error(conn, header.request_id, wire_error::bad_magic,
+                        "bad frame magic");
+            conn.close_after_flush = true; // desynced stream: cannot recover
+            break;
+        }
+        if (header.version != wire_version) {
+            counters_.record_malformed();
+            queue_error(conn, header.request_id, wire_error::bad_version,
+                        "unsupported protocol version");
+            conn.close_after_flush = true;
+            break;
+        }
+        if (header.payload_len > options_.max_payload) {
+            counters_.record_malformed();
+            queue_error(conn, header.request_id, wire_error::oversized,
+                        "payload exceeds server cap");
+            conn.close_after_flush = true; // cannot safely skip the body
+            break;
+        }
+        if (avail < wire_header_size + header.payload_len) break; // truncated
+        counters_.record_frame_in();
+        conn.rpos += wire_header_size + header.payload_len;
+        if (!handle_frame(conn, header.op, header.request_id,
+                          base + wire_header_size, header.payload_len)) {
+            return false; // engine stopped: drop the connection
+        }
+    }
+    // Compact once parsing stalls; steady-state pipelining consumes the
+    // whole buffer, making this a cheap clear().
+    if (conn.rpos == conn.rbuf.size()) {
+        conn.rbuf.clear();
+        conn.rpos = 0;
+    } else if (conn.rpos > read_chunk) {
+        conn.rbuf.erase(conn.rbuf.begin(),
+                        conn.rbuf.begin() +
+                            static_cast<std::ptrdiff_t>(conn.rpos));
+        conn.rpos = 0;
+    }
+    return true;
+}
+
+bool wire_server::handle_frame(connection& conn, std::uint8_t op,
+                               std::uint32_t request_id,
+                               const std::uint8_t* payload,
+                               std::size_t payload_len) {
+    switch (static_cast<opcode>(op)) {
+    case opcode::predict:
+    case opcode::predict_dynamic:
+        return handle_predict(conn, op, request_id, payload, payload_len);
+    case opcode::partial_fit:
+        handle_partial_fit(conn, request_id, payload, payload_len);
+        return true;
+    case opcode::stats:
+        handle_stats(conn, request_id);
+        return true;
+    case opcode::ping:
+        append_frame(conn.wbuf, reply_opcode(opcode::ping), request_id,
+                     std::span<const std::uint8_t>(payload, payload_len));
+        counters_.record_frame_out();
+        return true;
+    default:
+        counters_.record_malformed();
+        queue_error(conn, request_id, wire_error::bad_opcode,
+                    "unknown request opcode");
+        return true; // framing is intact: the connection survives
+    }
+}
+
+bool wire_server::handle_predict(connection& conn, std::uint8_t op,
+                                 std::uint32_t request_id,
+                                 const std::uint8_t* payload,
+                                 std::size_t payload_len) {
+    const bool dynamic = static_cast<opcode>(op) == opcode::predict_dynamic;
+    if (dynamic && !engine_.dynamic_capable()) {
+        counters_.record_malformed();
+        queue_error(conn, request_id, wire_error::unsupported,
+                    "engine has no dynamic policy");
+        return true;
+    }
+    if (payload_len < 1) {
+        counters_.record_malformed();
+        queue_error(conn, request_id, wire_error::bad_payload,
+                    "empty predict payload");
+        return true;
+    }
+    const auto kind = static_cast<query_kind>(payload[0]);
+    const std::uint8_t* body = payload + 1;
+    const std::size_t body_len = payload_len - 1;
+    // Decode straight out of the read buffer into the request vector the
+    // engine will consume — the only transform between socket and kernel.
+    std::vector<std::int32_t> encoded;
+    if (kind == query_kind::encoded) {
+        if (body_len != engine_.dim() * 4) {
+            counters_.record_malformed();
+            queue_error(conn, request_id, wire_error::bad_payload,
+                        "encoded payload size != dim * 4");
+            return true;
+        }
+        encoded.resize(engine_.dim());
+        for (std::size_t i = 0; i < encoded.size(); ++i) {
+            encoded[i] = static_cast<std::int32_t>(load_u32(body + i * 4));
+        }
+    } else if (kind == query_kind::raw) {
+        if (encoder_ == nullptr) {
+            counters_.record_malformed();
+            queue_error(conn, request_id, wire_error::unsupported,
+                        "server has no encoder for raw features");
+            return true;
+        }
+        if (body_len != encoder_->pixels()) {
+            counters_.record_malformed();
+            queue_error(conn, request_id, wire_error::bad_payload,
+                        "raw payload size != encoder pixels");
+            return true;
+        }
+        encoded.resize(encoder_->dim());
+        encoder_->encode(std::span<const std::uint8_t>(body, body_len), encoded);
+    } else {
+        counters_.record_malformed();
+        queue_error(conn, request_id, wire_error::bad_payload,
+                    "unknown query kind");
+        return true;
+    }
+    try {
+        if (!submit_decoded(conn, request_id, dynamic, encoded)) {
+            // Engine queue full: park and throttle (parse_frames stops on
+            // the next throttled() check, so order is preserved).
+            conn.parked.emplace(connection::parked_request{
+                std::move(encoded), request_id, dynamic});
+        }
+    } catch (const uhd::error&) {
+        return false; // engine stopped: caller closes the connection
+    }
+    return true;
+}
+
+bool wire_server::submit_decoded(connection& conn, std::uint32_t request_id,
+                                 bool dynamic,
+                                 std::vector<std::int32_t>& encoded) {
+    const std::uint64_t conn_id = conn.id;
+    const std::uint8_t reply_op =
+        reply_opcode(dynamic ? opcode::predict_dynamic : opcode::predict);
+    {
+        // Count before submitting: the callback may fire on a worker
+        // before try_submit even returns.
+        const std::lock_guard<std::mutex> lock(completions_mutex_);
+        ++outstanding_;
+    }
+    bool pushed = false;
+    try {
+        pushed = engine_.try_submit(
+            encoded,
+            [this, conn_id, request_id, reply_op](
+                std::size_t label, std::uint64_t version,
+                std::exception_ptr error) {
+                const std::lock_guard<std::mutex> lock(completions_mutex_);
+                completions_.push_back(completion{
+                    conn_id, request_id, reply_op,
+                    static_cast<std::uint32_t>(label), version,
+                    error != nullptr});
+                // Everything below stays under the mutex on purpose —
+                // stop() destroys this object right after it observes
+                // outstanding_ == 0, so the eventfd write must precede the
+                // decrement (stop() closes wake_), and the notify must
+                // happen while the lock pins the waiter inside its wait
+                // (notify-after-unlock would race the cv's destruction).
+                // An eventfd write never blocks in practice — the counter
+                // would have to hit 2^64-1.
+                const std::uint64_t one = 1;
+                [[maybe_unused]] const ssize_t n =
+                    ::write(wake_.get(), &one, sizeof(one));
+                --outstanding_;
+                if (outstanding_ == 0) outstanding_zero_.notify_all();
+            },
+            dynamic);
+    } catch (...) {
+        const std::lock_guard<std::mutex> lock(completions_mutex_);
+        --outstanding_;
+        throw;
+    }
+    if (!pushed) {
+        const std::lock_guard<std::mutex> lock(completions_mutex_);
+        --outstanding_; // callback will never run
+        return false;
+    }
+    ++conn.inflight;
+    return true;
+}
+
+void wire_server::handle_partial_fit(connection& conn, std::uint32_t request_id,
+                                     const std::uint8_t* payload,
+                                     std::size_t payload_len) {
+    if (trainer_ == nullptr) {
+        counters_.record_malformed();
+        queue_error(conn, request_id, wire_error::unsupported,
+                    "server has no trainer");
+        return;
+    }
+    const std::size_t pixels = trainer_->encoder().pixels();
+    if (payload_len != 4 + pixels) {
+        counters_.record_malformed();
+        queue_error(conn, request_id, wire_error::bad_payload,
+                    "partial_fit payload size != 4 + pixels");
+        return;
+    }
+    const std::uint32_t label = load_u32(payload);
+    try {
+        // Runs inline on the loop thread — the server is the trainer's
+        // single writer, so online learning needs no extra locking. The
+        // publish is the engine's RCU pointer swap.
+        trainer_->partial_fit(
+            std::span<const std::uint8_t>(payload + 4, pixels), label);
+        ++fits_;
+        if (fits_ % options_.publish_every == 1 || options_.publish_every == 1) {
+            engine_.publish(trainer_->snapshot());
+        }
+    } catch (const uhd::error&) {
+        counters_.record_malformed();
+        queue_error(conn, request_id, wire_error::bad_payload,
+                    "partial_fit rejected (label/geometry)");
+        return;
+    }
+    std::uint8_t reply[16];
+    store_u64(reply, fits_);
+    store_u64(reply + 8, engine_.current()->version());
+    append_frame(conn.wbuf, reply_opcode(opcode::partial_fit), request_id,
+                 std::span<const std::uint8_t>(reply, sizeof(reply)));
+    counters_.record_frame_out();
+}
+
+void wire_server::handle_stats(connection& conn, std::uint32_t request_id) {
+    const serve::serve_stats engine_stats = engine_.stats();
+    const wire_stats wire = counters_.load();
+    stats_reply reply;
+    reply.queries = engine_stats.queries;
+    reply.batches = engine_stats.batches;
+    reply.kernel_calls = engine_stats.kernel_calls;
+    reply.snapshot_swaps = engine_stats.snapshot_swaps;
+    reply.max_batch_observed = engine_stats.max_batch_observed;
+    reply.snapshot_version = engine_stats.snapshot_version;
+    reply.connections_accepted = wire.connections_accepted;
+    reply.connections_active = wire.connections_active;
+    reply.frames_in = wire.frames_in;
+    reply.frames_out = wire.frames_out;
+    reply.bytes_in = wire.bytes_in;
+    reply.bytes_out = wire.bytes_out;
+    reply.malformed_frames = wire.malformed_frames;
+    reply.throttle_events = wire.throttle_events;
+    std::uint8_t payload[stats_reply_size];
+    encode_stats_reply(payload, reply);
+    append_frame(conn.wbuf, reply_opcode(opcode::stats), request_id,
+                 std::span<const std::uint8_t>(payload, sizeof(payload)));
+    counters_.record_frame_out();
+}
+
+void wire_server::queue_error(connection& conn, std::uint32_t request_id,
+                              wire_error code, const char* message) {
+    append_error_frame(conn.wbuf, request_id, code, message);
+    counters_.record_frame_out();
+}
+
+void wire_server::flush_writes(connection& conn) {
+    while (conn.wpos < conn.wbuf.size()) {
+        const ssize_t sent =
+            ::send(conn.sock.get(), conn.wbuf.data() + conn.wpos,
+                   conn.wbuf.size() - conn.wpos, MSG_NOSIGNAL);
+        if (sent > 0) {
+            conn.wpos += static_cast<std::size_t>(sent);
+            counters_.record_bytes_out(static_cast<std::uint64_t>(sent));
+            continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (sent < 0 && errno == EINTR) continue;
+        close_connection(conn.id); // peer reset underneath us
+        return;
+    }
+    if (conn.wpos == conn.wbuf.size()) {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if (conn.wpos > read_chunk) {
+        conn.wbuf.erase(conn.wbuf.begin(),
+                        conn.wbuf.begin() +
+                            static_cast<std::ptrdiff_t>(conn.wpos));
+        conn.wpos = 0;
+    }
+    update_epoll_interest(conn);
+}
+
+void wire_server::update_epoll_interest(connection& conn) {
+    const bool needs_write = conn.wpos < conn.wbuf.size();
+    if (needs_write == conn.want_write) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET | (needs_write ? EPOLLOUT : 0U);
+    ev.data.u64 = conn.id;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn.sock.get(), &ev) == 0) {
+        conn.want_write = needs_write;
+    }
+}
+
+void wire_server::close_connection(std::uint64_t conn_id) {
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    // socket_fd close also removes the fd from the epoll set; completions
+    // for in-flight requests find the id gone and are dropped.
+    conns_.erase(it);
+    counters_.record_close();
+}
+
+} // namespace uhd::net

@@ -48,6 +48,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -75,6 +77,15 @@ struct engine_options {
     /// Bounded backlog; producers block (backpressure) when it is full.
     std::size_t queue_capacity = 4096;
 };
+
+/// Completion callback for the wire-path submit: invoked exactly once, from
+/// a worker thread, with the predicted label and the version() of the
+/// snapshot that answered — or with a non-null exception_ptr (label/version
+/// are then meaningless). Callbacks must be cheap and non-blocking: they run
+/// inside the worker's drain loop (the wire front-end just queues the
+/// completion and signals its event loop).
+using answer_callback = std::function<void(
+    std::size_t label, std::uint64_t snapshot_version, std::exception_ptr error)>;
 
 /// Micro-batching query server over an atomically swappable snapshot.
 class inference_engine {
@@ -122,6 +133,30 @@ public:
     /// request; prefer submit() with a moved vector on hot paths.
     [[nodiscard]] std::size_t predict(std::span<const std::int32_t> encoded);
 
+    /// Non-blocking wire-path enqueue: never waits for queue capacity, and
+    /// answers through `done` instead of a future, so a single-threaded
+    /// event loop can feed the engine without stalling or parking a thread
+    /// per request. On success returns true and `encoded` is moved from; on
+    /// a full queue returns false, `encoded` is left intact in the caller's
+    /// hands (park it and retry after a completion frees a slot), and
+    /// `done` is never invoked. Throws uhd::error on a size mismatch, on a
+    /// stopped engine, or when `dynamic` is requested without a policy.
+    ///
+    /// Per-request routing (unlike submit(), which always answers through
+    /// the engine's configured default): `dynamic = false` answers with the
+    /// full scan (predict_encoded semantics) even on a policy-configured
+    /// engine; `dynamic = true` answers through the early-exit cascade
+    /// (predict_dynamic_encoded semantics). A drained micro-batch holding
+    /// both kinds is answered with one block-kernel call per kind.
+    [[nodiscard]] bool try_submit(std::vector<std::int32_t>& encoded,
+                                  answer_callback done, bool dynamic = false);
+
+    /// Whether this engine can answer dynamic (early-exit cascade) requests
+    /// — i.e. it was constructed with a dynamic_query_policy.
+    [[nodiscard]] bool dynamic_capable() const noexcept {
+        return policy_.has_value();
+    }
+
     /// Point-in-time counters (see serve_stats for the consistency note).
     [[nodiscard]] serve_stats stats() const;
 
@@ -139,11 +174,17 @@ public:
 private:
     struct request {
         std::vector<std::int32_t> encoded;
-        std::promise<std::size_t> answer;
+        std::promise<std::size_t> answer; ///< future path (on_done empty)
+        answer_callback on_done;          ///< wire path; answers via callback
+        bool dynamic = false;             ///< answer through the cascade
     };
 
     void start_workers(std::size_t workers);
     void worker_loop();
+    /// Deliver one answered request through its callback or promise.
+    static void complete(request& req, std::size_t label, std::uint64_t version);
+    /// Deliver a failure through the request's callback or promise.
+    static void fail(request& req, const std::exception_ptr& error);
 
     // Snapshot geometry, pinned at construction: publish() enforces it so
     // a worker mid-batch can never see a dimension change under its feet.

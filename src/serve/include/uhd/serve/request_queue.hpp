@@ -26,6 +26,13 @@
 
 namespace uhd::serve {
 
+/// Outcome of a non-blocking try_push().
+enum class push_result {
+    pushed, ///< item enqueued
+    full,   ///< queue at capacity; the item was NOT consumed — retry later
+    closed, ///< queue closed; the item was NOT consumed and never will be
+};
+
 /// Bounded multi-producer/multi-consumer queue drained in micro-batches.
 template <typename T>
 class micro_batch_queue {
@@ -48,6 +55,22 @@ public:
         lock.unlock();
         not_empty_.notify_one();
         return true;
+    }
+
+    /// Non-blocking enqueue for callers that must never stall (the epoll
+    /// event loop of the wire front-end): returns immediately with `full`
+    /// instead of waiting for capacity. On `full`/`closed` the item is left
+    /// untouched in the caller's hands (it is only moved from on `pushed`),
+    /// so a throttled producer can park it and retry.
+    [[nodiscard]] push_result try_push(T&& item) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_) return push_result::closed;
+            if (items_.size() >= capacity_) return push_result::full;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return push_result::pushed;
     }
 
     /// Drain up to `max_batch` items into `out` (cleared first), blocking

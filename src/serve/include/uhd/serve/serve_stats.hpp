@@ -68,11 +68,22 @@ public:
     }
 
 private:
-    std::atomic<std::uint64_t> queries_{0};
-    std::atomic<std::uint64_t> batches_{0};
-    std::atomic<std::uint64_t> kernel_calls_{0};
-    std::atomic<std::uint64_t> swaps_{0};
-    std::atomic<std::uint64_t> max_batch_{0};
+    // Each counter sits on its own cache line (alignas(64)): the hot
+    // worker-side counters (queries/batches/kernel_calls, bumped once per
+    // drained micro-batch by every worker) must not false-share a line with
+    // the publisher's swap counter or with max_batch_'s CAS loop — packed
+    // into one line, every record_swap() invalidated the line every worker
+    // increments through. Measured on this box (bench_serve defaults,
+    // 4 clients x 2 workers + publishing trainer, 7 runs each): best
+    // ~184k qps packed -> ~203k qps padded (~10%), medians ~151k -> ~180k
+    // (run-to-run noise on a shared box is large; the direction held in
+    // every aggregate). sizeof(serve_counters) grows 40 -> 320 bytes, one
+    // instance per engine.
+    alignas(64) std::atomic<std::uint64_t> queries_{0};
+    alignas(64) std::atomic<std::uint64_t> batches_{0};
+    alignas(64) std::atomic<std::uint64_t> kernel_calls_{0};
+    alignas(64) std::atomic<std::uint64_t> swaps_{0};
+    alignas(64) std::atomic<std::uint64_t> max_batch_{0};
 };
 
 } // namespace uhd::serve

@@ -65,12 +65,40 @@ std::future<std::size_t> inference_engine::submit(
                 "submit() on a stopped engine");
     request req;
     req.encoded = std::move(encoded);
+    // The future path keeps the engine's configured default: a policy
+    // engine answers through the cascade, a plain one with the full scan.
+    req.dynamic = policy_.has_value();
     std::future<std::size_t> result = req.answer.get_future();
     if (!queue_.push(std::move(req))) {
         // Raced with stop(): the request never entered the queue.
         throw uhd::error("submit() on a stopped engine");
     }
     return result;
+}
+
+bool inference_engine::try_submit(std::vector<std::int32_t>& encoded,
+                                  answer_callback done, bool dynamic) {
+    UHD_REQUIRE(encoded.size() == dim_, "encoded query size mismatch");
+    UHD_REQUIRE(done != nullptr, "try_submit() needs a completion callback");
+    UHD_REQUIRE(!dynamic || policy_.has_value(),
+                "dynamic request on an engine without a dynamic policy");
+    UHD_REQUIRE(!stopped_.load(std::memory_order_acquire),
+                "try_submit() on a stopped engine");
+    request req;
+    req.encoded = std::move(encoded);
+    req.on_done = std::move(done);
+    req.dynamic = dynamic;
+    switch (queue_.try_push(std::move(req))) {
+    case push_result::pushed:
+        return true;
+    case push_result::full:
+        // Hand the payload back untouched so the caller can park + retry.
+        encoded = std::move(req.encoded);
+        return false;
+    case push_result::closed:
+    default:
+        throw uhd::error("try_submit() on a stopped engine");
+    }
 }
 
 std::size_t inference_engine::predict(std::span<const std::int32_t> encoded) {
@@ -94,68 +122,113 @@ void inference_engine::stop() {
     workers_.clear();
 }
 
+void inference_engine::complete(request& req, std::size_t label,
+                                std::uint64_t version) {
+    if (req.on_done) {
+        // Wire-path callbacks are documented cheap and non-throwing; a
+        // throw here must not take down the worker (it would strand every
+        // later request in the drained batch), so swallow defensively.
+        try {
+            req.on_done(label, version, nullptr);
+        } catch (...) { // NOLINT(bugprone-empty-catch)
+        }
+    } else {
+        req.answer.set_value(label);
+    }
+}
+
+void inference_engine::fail(request& req, const std::exception_ptr& error) {
+    if (req.on_done) {
+        try {
+            req.on_done(0, 0, error);
+        } catch (...) { // NOLINT(bugprone-empty-catch)
+        }
+    } else {
+        req.answer.set_exception(error);
+    }
+}
+
 void inference_engine::worker_loop() {
     std::vector<request> batch;
-    // Worker-local block scratch, reused across drains: the packed query
-    // block (one sign-binarized row per request) and the answer slots.
+    // Worker-local block scratch, reused across drains: the group index
+    // list, the packed query block (one sign-binarized row per request)
+    // and the answer slots.
+    std::vector<std::size_t> group;
     std::vector<std::uint64_t> packed;
     std::vector<std::size_t> answers;
-    // The cascade always answers from the packed memory regardless of the
-    // snapshot's query mode, so every policy-configured engine takes the
-    // block path; only the integer full-cosine mode loops per request.
-    const bool block_path =
-        policy_.has_value() || mode_ == hdc::query_mode::binarized;
     while (queue_.pop_batch(batch, max_batch_) != 0) {
         // One snapshot load per micro-batch: every request in the batch is
         // answered from the same immutable state, concurrent publishes
         // notwithstanding.
         const std::shared_ptr<const hdc::inference_snapshot> snap = current_.load();
-        if (block_path) {
-            // The whole drained batch is answered with ONE block-kernel
-            // call: sign-binarize every request into one contiguous packed
-            // block, then block-argmin (or the stage-synchronized block
-            // cascade) over it. Bit-identical per request to the
-            // single-query predict paths — submit() pinned every encoded
-            // size to dim(), so the batch can only fail as a whole.
+        const std::uint64_t version = snap->version();
+        std::uint64_t kernel_calls = 0;
+
+        // Requests route per-request since the wire path arrived: a drained
+        // batch may mix full-scan (dynamic == false) and cascade
+        // (dynamic == true) requests; each kind is answered with its own
+        // single block-kernel call, so a homogeneous batch still costs
+        // exactly one call. The cascade always answers from the packed
+        // memory; the full scan answers from packed memory in binarized
+        // mode and falls back to per-request integer cosine otherwise.
+        const auto answer_group = [&](bool dynamic) {
+            group.clear();
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                if (batch[i].dynamic == dynamic) group.push_back(i);
+            }
+            if (group.empty()) return;
+            if (!dynamic && mode_ == hdc::query_mode::integer) {
+                // Integer full-cosine has no block kernel: per-request loop.
+                for (const std::size_t i : group) {
+                    request& req = batch[i];
+                    try {
+                        complete(req, snap->predict_encoded(req.encoded), version);
+                    } catch (...) {
+                        fail(req, std::current_exception());
+                    }
+                    ++kernel_calls;
+                }
+                return;
+            }
+            // ONE block-kernel call for the whole group: sign-binarize every
+            // request into one contiguous packed block, then block-argmin
+            // (or the stage-synchronized block cascade) over it.
+            // Bit-identical per request to the single-query predict paths —
+            // submit pinned every encoded size to dim(), so the group can
+            // only fail as a whole.
             const std::size_t words = snap->words_per_class();
-            packed.resize(batch.size() * words);
-            answers.resize(batch.size());
+            packed.resize(group.size() * words);
+            answers.resize(group.size());
             bool answered = false;
             try {
-                for (std::size_t i = 0; i < batch.size(); ++i) {
-                    kernels::sign_binarize(batch[i].encoded.data(),
-                                           batch[i].encoded.size(),
-                                           packed.data() + i * words);
+                for (std::size_t g = 0; g < group.size(); ++g) {
+                    const request& req = batch[group[g]];
+                    kernels::sign_binarize(req.encoded.data(), req.encoded.size(),
+                                           packed.data() + g * words);
                 }
                 const std::span<const std::uint64_t> block(packed.data(),
                                                            packed.size());
-                if (policy_.has_value()) {
-                    policy_->answer_block(*snap, block, batch.size(), answers);
+                if (dynamic) {
+                    policy_->answer_block(*snap, block, group.size(), answers);
                 } else {
-                    snap->predict_packed_block(block, batch.size(), answers);
+                    snap->predict_packed_block(block, group.size(), answers);
                 }
                 answered = true;
             } catch (...) {
-                for (request& req : batch) {
-                    req.answer.set_exception(std::current_exception());
+                for (const std::size_t i : group) {
+                    fail(batch[i], std::current_exception());
                 }
             }
+            ++kernel_calls;
             if (answered) {
-                for (std::size_t i = 0; i < batch.size(); ++i) {
-                    batch[i].answer.set_value(answers[i]);
+                for (std::size_t g = 0; g < group.size(); ++g) {
+                    complete(batch[group[g]], answers[g], version);
                 }
             }
-            counters_.record_batch(batch.size(), 1);
-        } else {
-            for (request& req : batch) {
-                try {
-                    req.answer.set_value(snap->predict_encoded(req.encoded));
-                } catch (...) {
-                    req.answer.set_exception(std::current_exception());
-                }
-            }
-            counters_.record_batch(batch.size(), batch.size());
-        }
+        };
+        answer_group(false);
+        answer_group(true);
+        counters_.record_batch(batch.size(), kernel_calls);
     }
 }
 

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -321,6 +323,209 @@ TEST(InferenceEngineConcurrent, StopWithConcurrentSubmittersIsClean) {
     // Every request was either served or cleanly refused — no hangs, no
     // broken futures.
     EXPECT_EQ(served.load() + refused.load(), 3u * 200u);
+}
+
+// --- micro_batch_queue: non-blocking push + close/submit edges ------------
+
+TEST(MicroBatchQueue, TryPushReportsFullAndClosedWithoutConsuming) {
+    micro_batch_queue<int> queue(2);
+    EXPECT_EQ(queue.try_push(1), serve::push_result::pushed);
+    EXPECT_EQ(queue.try_push(2), serve::push_result::pushed);
+    EXPECT_EQ(queue.try_push(3), serve::push_result::full); // never blocks
+    std::vector<int> batch;
+    EXPECT_EQ(queue.pop_batch(batch, 1), 1u);
+    EXPECT_EQ(queue.try_push(3), serve::push_result::pushed); // slot freed
+    queue.close();
+    EXPECT_EQ(queue.try_push(4), serve::push_result::closed);
+    EXPECT_EQ(queue.pop_batch(batch, 8), 2u); // backlog still served
+    EXPECT_EQ(batch, (std::vector<int>{2, 3}));
+}
+
+TEST(MicroBatchQueue, TryPushLeavesTheItemIntactWhenRefused) {
+    // The wire server parks the refused payload and retries it later; a
+    // move-out on `full` would silently destroy the request.
+    micro_batch_queue<std::vector<int>> queue(1);
+    std::vector<int> first{1, 2, 3};
+    ASSERT_EQ(queue.try_push(std::move(first)), serve::push_result::pushed);
+    std::vector<int> second{4, 5, 6};
+    ASSERT_EQ(queue.try_push(std::move(second)), serve::push_result::full);
+    EXPECT_EQ(second, (std::vector<int>{4, 5, 6})); // untouched
+    queue.close();
+    ASSERT_EQ(queue.try_push(std::move(second)), serve::push_result::closed);
+    EXPECT_EQ(second, (std::vector<int>{4, 5, 6})); // still untouched
+}
+
+TEST(MicroBatchQueue, RacingCloseDuringFullQueueWaitCannotDeadlock) {
+    // The close/submit edge, hammered: producers blocked on a full queue
+    // while close() races them must ALL return (false), with no consumer
+    // draining slots. Run under TSan in CI.
+    for (int round = 0; round < 20; ++round) {
+        micro_batch_queue<int> queue(1);
+        ASSERT_TRUE(queue.push(0)); // full from the start
+        std::atomic<int> refused{0};
+        std::vector<std::thread> producers;
+        for (int p = 0; p < 4; ++p) {
+            producers.emplace_back([&] {
+                if (!queue.push(1)) refused.fetch_add(1);
+            });
+        }
+        // No sleep: close() races the producers' wait entry on purpose.
+        queue.close();
+        for (auto& t : producers) t.join(); // would hang on a lost wakeup
+        EXPECT_EQ(refused.load(), 4);
+        EXPECT_EQ(queue.try_push(2), serve::push_result::closed);
+    }
+}
+
+// --- inference_engine: wire-path (callback) submits -----------------------
+
+TEST(InferenceEngine, TrySubmitAnswersThroughTheCallbackWithVersion) {
+    const auto train = data::make_synthetic_digits(120, 81);
+    const auto test = data::make_synthetic_digits(40, 82);
+    const auto enc = make_encoder(train);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    const auto snapshot = clf.snapshot();
+    inference_engine engine(snapshot);
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t answered = 0;
+    std::vector<std::size_t> labels(test.size());
+    std::vector<std::uint64_t> versions(test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        auto encoded = encode_one(enc, test, i);
+        const bool pushed = engine.try_submit(
+            encoded,
+            [&, i](std::size_t label, std::uint64_t version,
+                   std::exception_ptr error) {
+                ASSERT_EQ(error, nullptr);
+                const std::lock_guard<std::mutex> lock(mutex);
+                labels[i] = label;
+                versions[i] = version;
+                ++answered;
+                cv.notify_one();
+            });
+        ASSERT_TRUE(pushed); // default capacity far above this load
+        EXPECT_TRUE(encoded.empty()); // payload moved into the request
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return answered == test.size(); });
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        EXPECT_EQ(labels[i], clf.predict_encoded(encode_one(enc, test, i)));
+        EXPECT_EQ(versions[i], snapshot.version());
+    }
+    engine.stop();
+}
+
+TEST(InferenceEngine, PerRequestRoutingMatchesBothDirectPaths) {
+    // A policy engine serving a MIXED batch: dynamic=false requests answer
+    // with full-scan semantics, dynamic=true with the cascade — each
+    // bit-identical to the corresponding direct snapshot path.
+    const auto train = data::make_synthetic_digits(150, 83);
+    const auto test = data::make_synthetic_digits(60, 84);
+    const auto enc = make_encoder(train, 1024);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    const dynamic_query_policy policy = clf.calibrate_dynamic(train, 0.95);
+    inference_engine engine(clf.snapshot(), policy);
+    EXPECT_TRUE(engine.dynamic_capable());
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t answered = 0;
+    std::vector<std::size_t> labels(test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        auto encoded = encode_one(enc, test, i);
+        const bool dynamic = i % 2 == 1; // interleave the two kinds
+        ASSERT_TRUE(engine.try_submit(
+            encoded,
+            [&, i](std::size_t label, std::uint64_t, std::exception_ptr error) {
+                ASSERT_EQ(error, nullptr);
+                const std::lock_guard<std::mutex> lock(mutex);
+                labels[i] = label;
+                ++answered;
+                cv.notify_one();
+            },
+            dynamic));
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return answered == test.size(); });
+    }
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const auto encoded = encode_one(enc, test, i);
+        const std::size_t expected =
+            i % 2 == 1 ? clf.predict_dynamic_encoded(encoded, policy)
+                       : clf.predict_encoded(encoded);
+        EXPECT_EQ(labels[i], expected) << "query " << i;
+    }
+    engine.stop();
+}
+
+TEST(InferenceEngine, TrySubmitRejectsDynamicWithoutPolicyAndStopped) {
+    const auto train = data::make_synthetic_digits(60, 85);
+    const auto enc = make_encoder(train, 256);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    inference_engine engine(clf.snapshot());
+    EXPECT_FALSE(engine.dynamic_capable());
+    auto encoded = encode_one(enc, train, 0);
+    const auto ignore = [](std::size_t, std::uint64_t, std::exception_ptr) {};
+    EXPECT_THROW((void)engine.try_submit(encoded, ignore, /*dynamic=*/true),
+                 uhd::error);
+    engine.stop();
+    EXPECT_THROW((void)engine.try_submit(encoded, ignore), uhd::error);
+}
+
+TEST(InferenceEngine, TrySubmitReturnsFalseOnFullQueueAndKeepsPayload) {
+    const auto train = data::make_synthetic_digits(60, 86);
+    const auto enc = make_encoder(train, 256);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    engine_options opts;
+    opts.workers = 1;
+    opts.max_batch = 2;
+    opts.queue_capacity = 2;
+    inference_engine engine(clf.snapshot(), opts);
+    // Plug the single worker with a slow callback so the tiny queue backs
+    // up, then observe a non-blocking refusal with the payload intact.
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<std::size_t> delivered{0};
+    const serve::answer_callback blocking =
+        [&](std::size_t, std::uint64_t, std::exception_ptr) {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return release; });
+            delivered.fetch_add(1);
+        };
+    const serve::answer_callback counting =
+        [&](std::size_t, std::uint64_t, std::exception_ptr) {
+            delivered.fetch_add(1);
+        };
+    auto query = encode_one(enc, train, 0);
+    const auto reference = query;
+    std::size_t accepted = 0;
+    bool saw_full = false;
+    // Keep pushing until the queue refuses; the first requests park the
+    // worker inside the blocking callback.
+    for (int i = 0; i < 64 && !saw_full; ++i) {
+        auto copy = query;
+        if (engine.try_submit(copy, i == 0 ? blocking : counting)) {
+            ++accepted;
+            EXPECT_TRUE(copy.empty());
+        } else {
+            saw_full = true;
+            EXPECT_EQ(copy, reference); // refused payload handed back
+        }
+    }
+    EXPECT_TRUE(saw_full);
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    engine.stop(); // drains the backlog: every accepted request answers
+    EXPECT_EQ(delivered.load(), accepted);
 }
 
 } // namespace

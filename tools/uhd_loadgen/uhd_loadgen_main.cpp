@@ -1,0 +1,394 @@
+// uhd_loadgen: saturating wire-protocol load generator + correctness
+// oracle. Opens N pipelined connections to a uhd_serve instance, drives
+// predict (or predict_dynamic / raw-feature) traffic to saturation, and
+// verifies EVERY reply bit-identical against an in-process
+// inference_snapshot oracle rebuilt from the same deterministic workload
+// — then emits wire-level p50/p99/throughput as BENCH_serve.json schema
+// v3 (results: null, wire: populated).
+//
+//   ./uhd_serve & ./uhd_loadgen            # ephemeral port via port file
+//
+// Knobs: UHD_LOADGEN_HOST/PORT/PORT_FILE, UHD_LOADGEN_CONNECTIONS,
+// UHD_LOADGEN_PIPELINE (in-flight frames per connection),
+// UHD_LOADGEN_REQUESTS (per connection), UHD_LOADGEN_KIND (encoded|raw),
+// UHD_LOADGEN_DYNAMIC, UHD_LOADGEN_JSON, UHD_LOADGEN_BASELINE_JSON
+// (in-process BENCH_serve.json for the wire/in-process ratio),
+// UHD_BENCH_SERVE_DIM (must match the server's).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "uhd/common/config.hpp"
+#include "uhd/common/cpu_features.hpp"
+#include "uhd/common/error.hpp"
+#include "uhd/common/kernels.hpp"
+#include "uhd/hdc/dynamic_query.hpp"
+#include "uhd/hdc/inference_snapshot.hpp"
+#include "uhd/net/wire_client.hpp"
+#include "uhd/net/wire_format.hpp"
+#include "workload.hpp"
+
+namespace {
+
+using namespace uhd;
+
+std::size_t env_count(const char* name, std::int64_t fallback) {
+    const std::int64_t value = env_int(name, fallback);
+    return static_cast<std::size_t>(value < 1 ? 1 : value);
+}
+
+/// Same backend attribution block as the BENCH_*.json emitters.
+void write_backend_json(std::FILE* f) {
+    std::fprintf(f, "  \"backend\": {\"selected\": \"%s\", \"override\": ",
+                 kernels::active().name);
+    const std::string_view override_value = kernels::backend_override();
+    if (override_value.empty()) {
+        std::fprintf(f, "null");
+    } else {
+        std::fprintf(f, "\"%.*s\"", static_cast<int>(override_value.size()),
+                     override_value.data());
+    }
+    std::fprintf(f, ", \"cpu\": \"%s\", \"compiled\": [",
+                 cpu().to_string().c_str());
+    const auto compiled = kernels::compiled_backends();
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+        std::fprintf(f, "\"%s\"%s", compiled[i]->name,
+                     i + 1 < compiled.size() ? ", " : "");
+    }
+    std::fprintf(f, "]},\n");
+}
+
+double percentile_us(const std::vector<double>& sorted_us, double p) {
+    if (sorted_us.empty()) return 0.0;
+    const double rank = p * static_cast<double>(sorted_us.size() - 1);
+    return sorted_us[static_cast<std::size_t>(rank + 0.5)];
+}
+
+/// Pull "throughput_qps": <num> out of an in-process BENCH_serve.json.
+std::optional<double> baseline_qps(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    const std::string key = "\"throughput_qps\": ";
+    const std::size_t pos = text.find(key);
+    if (pos == std::string::npos) return std::nullopt;
+    return std::strtod(text.c_str() + pos + key.size(), nullptr);
+}
+
+struct connection_result {
+    std::vector<double> latencies_us;
+    std::size_t mismatches = 0;
+    std::size_t version_mismatches = 0;
+    std::string error; ///< non-empty: the connection failed outright
+};
+
+} // namespace
+
+int main() {
+    const std::string host = env_string("UHD_LOADGEN_HOST", "127.0.0.1");
+    const std::string port_file =
+        env_string("UHD_LOADGEN_PORT_FILE", "uhd_serve.port");
+    long long port_knob = env_int("UHD_LOADGEN_PORT", 0);
+    const std::size_t connections = env_count("UHD_LOADGEN_CONNECTIONS", 4);
+    const std::size_t pipeline = env_count("UHD_LOADGEN_PIPELINE", 32);
+    const std::size_t per_conn = env_count("UHD_LOADGEN_REQUESTS", 25000);
+    const std::string kind_name = env_string("UHD_LOADGEN_KIND", "encoded");
+    const bool dynamic = env_bool("UHD_LOADGEN_DYNAMIC", false);
+    const std::string json_path =
+        env_string("UHD_LOADGEN_JSON", "BENCH_serve.json");
+    const std::string baseline_path = env_string("UHD_LOADGEN_BASELINE_JSON", "");
+    const bool raw_kind = kind_name == "raw";
+    if (!raw_kind && kind_name != "encoded") {
+        std::fprintf(stderr, "UHD_LOADGEN_KIND must be encoded or raw\n");
+        return 1;
+    }
+
+    if (port_knob == 0) {
+        // Wait briefly for the server's readiness file (ephemeral ports).
+        for (int attempt = 0; attempt < 200 && port_knob == 0; ++attempt) {
+            std::ifstream in(port_file);
+            if (in >> port_knob && port_knob != 0) break;
+            port_knob = 0;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        if (port_knob == 0) {
+            std::fprintf(stderr, "no UHD_LOADGEN_PORT and no port file %s\n",
+                         port_file.c_str());
+            return 1;
+        }
+    }
+    const auto port = static_cast<std::uint16_t>(port_knob);
+
+    // Oracle: the same deterministic workload the server built. Expected
+    // labels are computed in THIS process; any wire divergence is a real
+    // serving bug, not environment noise.
+    uhd_loadgen::workload work = uhd_loadgen::make_workload();
+    const hdc::inference_snapshot oracle = work.model.snapshot();
+    const std::size_t pool = work.test.size();
+    std::vector<std::uint32_t> expected(pool);
+    if (dynamic) {
+        const hdc::dynamic_query_policy policy =
+            work.model.calibrate_dynamic(work.test, 0.99);
+        const std::size_t words = oracle.words_per_class();
+        std::vector<std::uint64_t> packed(words);
+        std::vector<std::size_t> answer(1);
+        for (std::size_t i = 0; i < pool; ++i) {
+            kernels::sign_binarize(work.queries.data() + i * work.dim,
+                                   work.dim, packed.data());
+            policy.answer_block(oracle, packed, 1, answer);
+            expected[i] = static_cast<std::uint32_t>(answer[0]);
+        }
+    } else {
+        for (std::size_t i = 0; i < pool; ++i) {
+            expected[i] = static_cast<std::uint32_t>(oracle.predict_encoded(
+                std::span<const std::int32_t>(work.queries.data() + i * work.dim,
+                                              work.dim)));
+        }
+    }
+
+    // Pre-serialize one request frame per pool entry (request_id is
+    // patched per send): the measurement loop does no encoding work.
+    const net::opcode op =
+        dynamic ? net::opcode::predict_dynamic : net::opcode::predict;
+    std::vector<std::vector<std::uint8_t>> frames(pool);
+    for (std::size_t i = 0; i < pool; ++i) {
+        if (raw_kind) {
+            net::append_predict_raw(frames[i], op, 0, work.test.image(i));
+        } else {
+            net::append_predict_encoded(
+                frames[i], op, 0,
+                std::span<const std::int32_t>(work.queries.data() + i * work.dim,
+                                              work.dim));
+        }
+    }
+
+    std::printf("# uhd_loadgen: %s:%u, %zu conns x %zu reqs, pipeline %zu, "
+                "kind=%s dynamic=%d dim=%zu\n",
+                host.c_str(), port, connections, per_conn, pipeline,
+                kind_name.c_str(), dynamic ? 1 : 0, work.dim);
+
+    std::vector<connection_result> results(connections);
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < connections; ++c) {
+        threads.emplace_back([&, c] {
+            connection_result& result = results[c];
+            try {
+                net::wire_client client(host, port);
+                client.set_recv_timeout_ms(30000);
+                result.latencies_us.reserve(per_conn);
+                std::vector<std::uint8_t> burst;
+                std::vector<std::chrono::steady_clock::time_point> sent_at(
+                    per_conn);
+                std::optional<std::uint64_t> version_seen;
+                std::size_t sent = 0;
+                std::size_t received = 0;
+                while (received < per_conn) {
+                    if (sent < per_conn && sent - received < pipeline) {
+                        // Refill the window in one send: patch each
+                        // frame's request_id, stamp, go.
+                        burst.clear();
+                        const auto now = std::chrono::steady_clock::now();
+                        while (sent < per_conn && sent - received < pipeline) {
+                            const std::size_t q = (c * 7919 + sent) % pool;
+                            const std::size_t base = burst.size();
+                            burst.insert(burst.end(), frames[q].begin(),
+                                         frames[q].end());
+                            net::store_u32(burst.data() + base + 4,
+                                           static_cast<std::uint32_t>(sent));
+                            sent_at[sent] = now;
+                            ++sent;
+                        }
+                        client.send_bytes(burst);
+                    }
+                    const net::wire_frame reply = client.read_frame();
+                    const auto now = std::chrono::steady_clock::now();
+                    if (reply.header.op != net::reply_opcode(op)) {
+                        result.error = "unexpected reply opcode " +
+                                       std::to_string(reply.header.op);
+                        return;
+                    }
+                    const auto parsed = net::parse_predict_reply(reply.payload);
+                    if (!parsed.has_value()) {
+                        result.error = "malformed predict reply";
+                        return;
+                    }
+                    const std::size_t id = reply.header.request_id;
+                    if (id >= per_conn) {
+                        result.error = "reply id out of range";
+                        return;
+                    }
+                    const std::size_t q = (c * 7919 + id) % pool;
+                    if (parsed->label != expected[q]) ++result.mismatches;
+                    // Snapshot-version coherence: a static server must
+                    // answer every request from the same published state.
+                    if (version_seen.has_value() &&
+                        *version_seen != parsed->snapshot_version) {
+                        ++result.version_mismatches;
+                    }
+                    version_seen = parsed->snapshot_version;
+                    result.latencies_us.push_back(
+                        std::chrono::duration<double, std::micro>(
+                            now - sent_at[id])
+                            .count());
+                    ++received;
+                }
+            } catch (const std::exception& e) {
+                result.error = e.what();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+
+    for (std::size_t c = 0; c < connections; ++c) {
+        if (!results[c].error.empty()) {
+            std::fprintf(stderr, "FAIL: connection %zu: %s\n", c,
+                         results[c].error.c_str());
+            return 1;
+        }
+    }
+
+    // Server-side accounting over one extra connection.
+    net::stats_reply server_stats{};
+    try {
+        net::wire_client client(host, port);
+        client.set_recv_timeout_ms(30000);
+        client.ping();
+        server_stats = client.stats();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "FAIL: stats/ping connection: %s\n", e.what());
+        return 1;
+    }
+
+    std::vector<double> merged;
+    std::size_t mismatches = 0;
+    std::size_t version_mismatches = 0;
+    for (const connection_result& result : results) {
+        merged.insert(merged.end(), result.latencies_us.begin(),
+                      result.latencies_us.end());
+        mismatches += result.mismatches;
+        version_mismatches += result.version_mismatches;
+    }
+    std::sort(merged.begin(), merged.end());
+    const double p50 = percentile_us(merged, 0.50);
+    const double p99 = percentile_us(merged, 0.99);
+    const std::size_t total = connections * per_conn;
+    const double qps =
+        wall_s > 0.0 ? static_cast<double>(total) / wall_s : 0.0;
+    const bool bit_identity = mismatches == 0 && version_mismatches == 0 &&
+                              merged.size() == total;
+
+    const std::optional<double> parsed_baseline =
+        baseline_path.empty() ? std::nullopt : baseline_qps(baseline_path);
+    // Pull the value out once: keeps GCC's maybe-uninitialized analysis
+    // happy across the printf calls below.
+    const bool have_baseline = parsed_baseline.has_value();
+    const double baseline_value = have_baseline ? *parsed_baseline : 0.0;
+    const double ratio = baseline_value > 0.0 ? qps / baseline_value : 0.0;
+
+    std::printf("# %.0f wire qps, p50 %.1f us, p99 %.1f us, %zu mismatches, "
+                "%zu version splits; server: %llu frames in, %llu throttles, "
+                "block utilization %.2f\n",
+                qps, p50, p99, mismatches, version_mismatches,
+                static_cast<unsigned long long>(server_stats.frames_in),
+                static_cast<unsigned long long>(server_stats.throttle_events),
+                server_stats.kernel_calls == 0
+                    ? 0.0
+                    : static_cast<double>(server_stats.queries) /
+                          static_cast<double>(server_stats.kernel_calls));
+    if (have_baseline) {
+        std::printf("# in-process baseline %.0f qps -> wire/in-process %.2f\n",
+                    baseline_value, ratio);
+    }
+
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"serve\",\n");
+    std::fprintf(f, "  \"schema_version\": 3,\n");
+    std::fprintf(f,
+                 "  \"workload\": {\"dim\": %zu, \"classes\": %zu, "
+                 "\"connections\": %zu, \"requests_per_connection\": %zu, "
+                 "\"pipeline\": %zu, \"kind\": \"%s\", \"dynamic\": %s},\n",
+                 work.dim, static_cast<std::size_t>(work.train.num_classes()),
+                 connections, per_conn, pipeline, kind_name.c_str(),
+                 dynamic ? "true" : "false");
+    write_backend_json(f);
+    std::fprintf(f, "  \"results\": null,\n");
+    std::fprintf(f,
+                 "  \"wire\": {\"throughput_qps\": %.1f, \"p50_us\": %.2f, "
+                 "\"p99_us\": %.2f, \"requests\": %zu, \"seconds\": %.4f,\n",
+                 qps, p50, p99, total, wall_s);
+    std::fprintf(
+        f,
+        "    \"frames_in\": %llu, \"frames_out\": %llu, \"bytes_in\": %llu, "
+        "\"bytes_out\": %llu, \"throttle_events\": %llu,\n",
+        static_cast<unsigned long long>(server_stats.frames_in),
+        static_cast<unsigned long long>(server_stats.frames_out),
+        static_cast<unsigned long long>(server_stats.bytes_in),
+        static_cast<unsigned long long>(server_stats.bytes_out),
+        static_cast<unsigned long long>(server_stats.throttle_events));
+    std::fprintf(
+        f,
+        "    \"server_block_utilization\": %.2f, \"bit_identity\": %s,\n",
+        server_stats.kernel_calls == 0
+            ? 0.0
+            : static_cast<double>(server_stats.queries) /
+                  static_cast<double>(server_stats.kernel_calls),
+        bit_identity ? "true" : "false");
+    if (have_baseline) {
+        std::fprintf(f,
+                     "    \"inprocess_qps\": %.1f, "
+                     "\"wire_vs_inprocess\": %.3f},\n",
+                     baseline_value, ratio);
+    } else {
+        std::fprintf(f, "    \"inprocess_qps\": null, "
+                        "\"wire_vs_inprocess\": null},\n");
+    }
+    std::fprintf(f,
+                 "  \"gates\": {\"bit_identity\": %s, "
+                 "\"throughput_positive\": %s, \"p99_ge_p50\": %s, "
+                 "\"wire_ge_half_inprocess\": %s}\n",
+                 bit_identity ? "true" : "false", qps > 0.0 ? "true" : "false",
+                 p99 >= p50 ? "true" : "false",
+                 (!have_baseline || ratio >= 0.5) ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+
+    // Hard exit gates: every answer bit-identical to the oracle, and the
+    // wire actually moved traffic. The >= 50%-of-in-process acceptance is
+    // recorded (gates.wire_ge_half_inprocess) rather than exiting nonzero:
+    // perf ratios on shared CI boxes are telemetry, correctness is law.
+    if (!bit_identity) {
+        std::fprintf(stderr,
+                     "FAIL: wire answers diverged from the in-process oracle "
+                     "(%zu label, %zu version, %zu/%zu samples)\n",
+                     mismatches, version_mismatches, merged.size(), total);
+        return 1;
+    }
+    if (qps <= 0.0 || p50 <= 0.0) {
+        std::fprintf(stderr, "FAIL: implausible wire measurements (qps=%.1f, "
+                             "p50=%.2f)\n",
+                     qps, p50);
+        return 1;
+    }
+    return 0;
+}

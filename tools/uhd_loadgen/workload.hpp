@@ -1,0 +1,60 @@
+// Shared deterministic workload for uhd_serve / uhd_loadgen.
+//
+// Both processes rebuild the exact same model from the same synthetic
+// seeds, so the load generator holds a local inference_snapshot that is
+// bit-identical to the one the server serves — every wire answer can be
+// checked against an in-process oracle without shipping model state.
+// Keep in sync with bench_serve.cpp (same dataset seeds + geometry) so
+// the wire numbers are comparable to the in-process BENCH_serve.json.
+#ifndef UHD_LOADGEN_WORKLOAD_HPP
+#define UHD_LOADGEN_WORKLOAD_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "uhd/common/config.hpp"
+#include "uhd/common/thread_pool.hpp"
+#include "uhd/core/model.hpp"
+#include "uhd/data/synthetic.hpp"
+
+namespace uhd_loadgen {
+
+struct workload {
+    uhd::data::dataset train;
+    uhd::data::dataset test;
+    uhd::core::uhd_model model;
+    std::vector<std::int32_t> queries; ///< test pre-encoded, image-major
+    std::size_t dim = 0;
+};
+
+/// Deterministic model + query pool (same seeds as bench_serve: train
+/// 1000@42, test 256@44; dim from UHD_BENCH_SERVE_DIM, default 1024).
+inline workload make_workload() {
+    const std::int64_t dim_knob = uhd::env_int("UHD_BENCH_SERVE_DIM", 1024);
+    const std::size_t dim = static_cast<std::size_t>(dim_knob < 1 ? 1 : dim_knob);
+    uhd::data::dataset train = uhd::data::make_synthetic_digits(1000, 42);
+    uhd::data::dataset test = uhd::data::make_synthetic_digits(256, 44);
+    uhd::core::uhd_config cfg;
+    cfg.dim = dim;
+    uhd::core::uhd_model model(cfg, train.shape(), train.num_classes(),
+                               uhd::hdc::train_mode::raw_sums,
+                               uhd::hdc::query_mode::binarized);
+    model.fit_parallel(train, &uhd::thread_pool::shared());
+
+    std::vector<std::int32_t> queries(test.size() * dim);
+    std::vector<std::uint8_t> flat;
+    flat.reserve(test.size() * test.shape().pixels());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const auto img = test.image(i);
+        flat.insert(flat.end(), img.begin(), img.end());
+    }
+    model.encoder().encode_batch(flat, test.size(), queries);
+
+    return workload{std::move(train), std::move(test), std::move(model),
+                    std::move(queries), dim};
+}
+
+} // namespace uhd_loadgen
+
+#endif // UHD_LOADGEN_WORKLOAD_HPP
