@@ -199,7 +199,7 @@ int main() {
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"serve\",\n");
-    std::fprintf(f, "  \"schema_version\": 3,\n");
+    std::fprintf(f, "  \"schema_version\": 4,\n");
     std::fprintf(f,
                  "  \"workload\": {\"dim\": %zu, \"classes\": %zu, "
                  "\"clients\": %zu, \"queries_per_client\": %zu, "
@@ -228,9 +228,12 @@ int main() {
                  stats.block_utilization());
     std::fprintf(f, "    \"final_matches_trainer\": %s},\n",
                  mismatches == 0 ? "true" : "false");
-    // Schema v3: exactly one of "results" (in-process run, this binary) and
-    // "wire" (loopback run, tools/uhd_loadgen) is non-null; the other is
-    // null so consumers can tell the two serve benches apart by shape.
+    // Schema v3+: exactly one of "results" (in-process run, this binary) and
+    // "wire" (loopback/sweep run, tools/uhd_loadgen) is non-null; the other
+    // is null so consumers can tell the serve benches apart by shape. v4
+    // added wire.mode / wire.scaling (reactor sweep) and the reactor +
+    // encode-stage counters to the loadgen emission; this binary's shape is
+    // unchanged.
     std::fprintf(f, "  \"wire\": null,\n");
     std::fprintf(f, "  \"gates\": {\"throughput_positive\": %s, "
                  "\"p99_ge_p50\": %s}\n",

@@ -1,0 +1,79 @@
+#include "uhd/common/affinity.hpp"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "uhd/common/config.hpp"
+#include "uhd/common/error.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace uhd {
+
+namespace {
+
+/// The allowed-CPU list, probed once: index -> CPU id. Empty when the
+/// platform has no affinity API (pinning then reports failure).
+const std::vector<int>& allowed_cpus() {
+    static const std::vector<int> cpus = [] {
+        std::vector<int> out;
+#if defined(__linux__)
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        if (::sched_getaffinity(0, sizeof(set), &set) == 0) {
+            for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+                if (CPU_ISSET(cpu, &set)) out.push_back(cpu);
+            }
+        }
+#endif
+        return out;
+    }();
+    return cpus;
+}
+
+std::atomic<std::size_t> next_slot{0};
+
+} // namespace
+
+affinity_mode affinity_from_env() {
+    const std::string value = env_string("UHD_AFFINITY", "none");
+    if (value == "none" || value.empty()) return affinity_mode::none;
+    if (value == "auto") return affinity_mode::automatic;
+    throw uhd::error("invalid UHD_AFFINITY value '" + value +
+                     "' (valid: auto, none)");
+}
+
+affinity_mode resolved_affinity() {
+    static const affinity_mode mode = affinity_from_env();
+    return mode;
+}
+
+std::size_t affinity_cpu_count() noexcept {
+    const std::size_t n = allowed_cpus().size();
+    return n == 0 ? 1 : n;
+}
+
+bool pin_thread_to_slot(std::size_t slot) noexcept {
+#if defined(__linux__)
+    const std::vector<int>& cpus = allowed_cpus();
+    if (cpus.empty()) return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpus[slot % cpus.size()], &set);
+    return ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)slot;
+    return false;
+#endif
+}
+
+bool pin_this_thread() noexcept {
+    if (resolved_affinity() != affinity_mode::automatic) return false;
+    return pin_thread_to_slot(next_slot.fetch_add(1, std::memory_order_relaxed));
+}
+
+} // namespace uhd

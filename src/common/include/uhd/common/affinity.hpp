@@ -1,0 +1,56 @@
+// Thread-affinity helper: opt-in pinning of serving threads to distinct
+// cores (UHD_AFFINITY=auto), the first step of the NUMA/affinity-aware
+// worker-placement direction.
+//
+// Under `auto`, every thread that routes through pin_this_thread() — wire
+// reactors, inference-engine serve workers, thread_pool workers — takes
+// the next slot from one process-wide allocator and pins itself to the
+// slot-th CPU of the process's allowed set (sched_getaffinity mask, so
+// container/cgroup masks are respected). Creation order therefore spreads
+// reactors and workers across distinct cores until the set wraps. Under
+// `none` (the default) nothing is touched. Pinning is best-effort by
+// design: on platforms without pthread affinity, or when the syscall
+// fails, threads simply stay unpinned — correctness never depends on
+// placement, only the scaling numbers do.
+#ifndef UHD_COMMON_AFFINITY_HPP
+#define UHD_COMMON_AFFINITY_HPP
+
+#include <cstddef>
+
+namespace uhd {
+
+/// Placement policy for serving threads.
+enum class affinity_mode {
+    none,      ///< leave scheduling to the OS (default)
+    automatic, ///< pin each registered thread to the next distinct core
+};
+
+/// Parse UHD_AFFINITY (`auto` | `none`, default `none`). Throws uhd::error
+/// on any other value — never a silent fallback, same contract as
+/// UHD_BACKEND. Parsed fresh on every call; prefer resolved_affinity() on
+/// hot paths.
+[[nodiscard]] affinity_mode affinity_from_env();
+
+/// The process-wide affinity mode, parsed from UHD_AFFINITY exactly once.
+/// Call it from a constructor before spawning threads so an invalid value
+/// throws on the constructing thread, not inside a worker.
+[[nodiscard]] affinity_mode resolved_affinity();
+
+/// CPUs the process may run on (affinity-mask aware, so cgroup-restricted
+/// containers report their real allowance); always >= 1.
+[[nodiscard]] std::size_t affinity_cpu_count() noexcept;
+
+/// Pin the calling thread to the slot-th allowed CPU (modulo the allowed
+/// set). Returns false when pinning is unsupported on this platform or
+/// the syscall fails.
+bool pin_thread_to_slot(std::size_t slot) noexcept;
+
+/// The registration point for serving threads: under affinity_mode::none
+/// this is a no-op returning false; under automatic it draws the next
+/// slot from the process-wide allocator and pins the calling thread to
+/// that core, returning whether the pin stuck.
+bool pin_this_thread() noexcept;
+
+} // namespace uhd
+
+#endif // UHD_COMMON_AFFINITY_HPP

@@ -42,8 +42,13 @@ private:
 };
 
 /// Non-blocking IPv4 listener on 127.0.0.1:`port` (0 = ephemeral) with
-/// SO_REUSEADDR. Throws uhd::error on failure.
-[[nodiscard]] socket_fd listen_tcp(std::uint16_t port, int backlog);
+/// SO_REUSEADDR. With `reuse_port`, SO_REUSEPORT is set too so several
+/// listeners can share one port (the kernel load-balances accepts across
+/// them — the multi-reactor server's sharding mechanism); every listener
+/// on the port must set it, including the first. Throws uhd::error on
+/// failure.
+[[nodiscard]] socket_fd listen_tcp(std::uint16_t port, int backlog,
+                                   bool reuse_port = false);
 
 /// Blocking connect to `host`:`port` with TCP_NODELAY set. Throws
 /// uhd::error on failure.

@@ -28,7 +28,7 @@
 //   partial_fit (3)  u32 label, then raw u8 features. Reply: u64 updates
 //                    (cumulative fits on this server), u64 published
 //                    snapshot version.
-//   stats (4)        empty. Reply: 14 x u64 (see stats_reply).
+//   stats (4)        empty. Reply: 17 x u64 (see stats_reply).
 //   ping (5)         arbitrary; echoed back verbatim.
 //
 // Error replies (op_error) carry: u16 error code, then a human-readable
@@ -262,7 +262,9 @@ parse_partial_fit_reply(std::span<const std::uint8_t> payload) noexcept {
     return r;
 }
 
-/// Decoded stats reply payload: engine counters then wire counters.
+/// Decoded stats reply payload: engine counters then wire counters (wire
+/// counters are summed over every reactor shard; `reactors` is the shard
+/// count that produced the sums).
 struct stats_reply {
     std::uint64_t queries = 0;
     std::uint64_t batches = 0;
@@ -278,20 +280,28 @@ struct stats_reply {
     std::uint64_t bytes_out = 0;
     std::uint64_t malformed_frames = 0;
     std::uint64_t throttle_events = 0;
+    std::uint64_t reactors = 0;           ///< epoll loop threads serving
+    std::uint64_t raw_queries = 0;        ///< raw-feature requests encoded
+                                          ///< by the engine's encode stage
+    std::uint64_t encode_kernel_calls = 0; ///< encode_batch drain calls
 };
 
-inline constexpr std::size_t stats_reply_size = 14 * 8;
+inline constexpr std::size_t stats_reply_fields = 17;
+inline constexpr std::size_t stats_reply_size = stats_reply_fields * 8;
 
-/// Serialize a stats reply payload (14 x u64, little-endian).
+/// Serialize a stats reply payload (17 x u64, little-endian).
 inline void encode_stats_reply(std::uint8_t* out, const stats_reply& s) noexcept {
-    const std::uint64_t fields[14] = {
+    const std::uint64_t fields[stats_reply_fields] = {
         s.queries,     s.batches,   s.kernel_calls,
         s.snapshot_swaps, s.max_batch_observed, s.snapshot_version,
         s.connections_accepted, s.connections_active, s.frames_in,
         s.frames_out,  s.bytes_in,  s.bytes_out,
-        s.malformed_frames, s.throttle_events,
+        s.malformed_frames, s.throttle_events, s.reactors,
+        s.raw_queries, s.encode_kernel_calls,
     };
-    for (std::size_t i = 0; i < 14; ++i) store_u64(out + i * 8, fields[i]);
+    for (std::size_t i = 0; i < stats_reply_fields; ++i) {
+        store_u64(out + i * 8, fields[i]);
+    }
 }
 
 /// Parse a stats reply payload; nullopt on bad size.
@@ -299,8 +309,10 @@ inline void encode_stats_reply(std::uint8_t* out, const stats_reply& s) noexcept
 parse_stats_reply(std::span<const std::uint8_t> payload) noexcept {
     if (payload.size() != stats_reply_size) return std::nullopt;
     stats_reply s;
-    std::uint64_t fields[14];
-    for (std::size_t i = 0; i < 14; ++i) fields[i] = load_u64(payload.data() + i * 8);
+    std::uint64_t fields[stats_reply_fields];
+    for (std::size_t i = 0; i < stats_reply_fields; ++i) {
+        fields[i] = load_u64(payload.data() + i * 8);
+    }
     s.queries = fields[0];
     s.batches = fields[1];
     s.kernel_calls = fields[2];
@@ -315,6 +327,9 @@ parse_stats_reply(std::span<const std::uint8_t> payload) noexcept {
     s.bytes_out = fields[11];
     s.malformed_frames = fields[12];
     s.throttle_events = fields[13];
+    s.reactors = fields[14];
+    s.raw_queries = fields[15];
+    s.encode_kernel_calls = fields[16];
     return s;
 }
 

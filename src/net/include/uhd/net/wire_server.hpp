@@ -1,26 +1,38 @@
 // Epoll wire front-end for the serving engine — the "traffic actually
 // reaches the process" layer.
 //
-// Threading model (deliberately minimal):
+// Threading model (sharded reactors, default 1):
 //
-//   clients ══ TCP ══▶ ONE event-loop thread ──try_submit()──▶ engine
-//                      (epoll, edge-triggered,                 workers
-//                       non-blocking accept4)                    │
-//                            ▲      ▲                            │
-//                            │      └── eventfd wakeup ◀── completion
-//                            └────────── write buffers          callback
+//   clients ══ TCP ══▶ N reactor threads ──try_submit[_raw]()──▶ engine
+//              (SO_REUSEPORT listeners;       │                  workers
+//               epoll, edge-triggered,        │                    │
+//               non-blocking accept4)         │                    │
+//                     ▲      ▲                │                    │
+//                     │      └── per-reactor eventfd ◀── completion
+//                     └────────── write buffers          callback
 //
-// * The I/O layer owns no worker threads: one thread runs the epoll
-//   loop; inference parallelism stays where it already lives (the
-//   engine's micro-batch workers). Decoded queries move straight from
-//   the connection read buffer into the engine's request vector — one
-//   deserialize, zero further payload copies.
+// * The I/O layer owns no inference threads: each reactor runs one epoll
+//   loop over the connections *it* accepted; inference parallelism stays
+//   where it already lives (the engine's micro-batch workers). Decoded
+//   queries move straight from the connection read buffer into the
+//   engine's request vector — one deserialize, zero further payload
+//   copies. Raw-feature queries are NOT encoded on the reactor: the raw
+//   bytes are handed to the engine and its workers batch-encode each
+//   drained micro-batch with one encode_batch call, so the reactor does
+//   pure I/O and encode throughput scales with workers, not loops.
+// * Sharding: with N > 1 each reactor has its own SO_REUSEPORT listener
+//   on the shared port (the kernel load-balances accepts), connection
+//   table, completion mailbox + eventfd, and wire_counters shard
+//   (stats() sums the shards). A connection lives its whole life on the
+//   reactor that accepted it, so every per-connection invariant —
+//   backpressure caps, write-buffer re-arming, poison handling, FIFO
+//   order — holds per shard exactly as it did with one loop.
 // * Completions come back on worker threads; the callback only appends
-//   {connection, request_id, answer} to a mutex-guarded list and kicks
-//   an eventfd, so workers never touch sockets and the loop never waits
-//   on inference.
+//   {connection, request_id, answer} to the owning reactor's mailbox and
+//   kicks that reactor's eventfd, so workers never touch sockets and no
+//   loop ever waits on inference.
 // * Backpressure is layered the way the queue contract wants it: the
-//   engine queue is never blocked on — try_submit() full parks the
+//   engine queue is never blocked on — a full try_submit parks the
 //   request on its connection and the loop simply stops reading that
 //   socket (edge-triggered epoll makes "stop reading" free). A slow
 //   *reader* is throttled the same way: while a connection exceeds its
@@ -33,6 +45,9 @@
 //   gets an error frame and the stream continues. Truncated frames
 //   simply wait for more bytes; EOF mid-frame closes after in-flight
 //   requests drain.
+// * partial_fit may now arrive on any reactor, so trainer updates (and
+//   the publish cadence counter) are serialized by one trainer mutex —
+//   the only cross-reactor lock, and only on the training path.
 #ifndef UHD_NET_WIRE_SERVER_HPP
 #define UHD_NET_WIRE_SERVER_HPP
 
@@ -59,7 +74,7 @@ struct wire_server_options {
     /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back
     /// with port()).
     std::uint16_t port = 0;
-    /// listen() backlog.
+    /// listen() backlog (per reactor listener).
     int backlog = 128;
     /// Per-connection cap on requests submitted but not yet answered;
     /// reads pause above it (backpressure against slow readers and
@@ -74,17 +89,22 @@ struct wire_server_options {
     /// partial_fit publishes a fresh snapshot to the engine every N fits
     /// (and on the first fit). Amortizes snapshot finalization.
     std::size_t publish_every = 64;
+    /// Epoll loop threads, each with its own SO_REUSEPORT listener and
+    /// connection shard. 0 resolves UHD_NET_REACTORS (default 1).
+    std::size_t reactors = 0;
 };
 
-/// Single-threaded epoll server bridging TCP clients to an
-/// inference_engine (and optionally an online trainer).
+/// Sharded epoll server bridging TCP clients to an inference_engine (and
+/// optionally an online trainer).
 class wire_server {
 public:
     /// Serve `engine` over TCP. `trainer`, when given, enables
-    /// partial_fit (the server is then the trainer's only writer thread);
-    /// raw-feature predict payloads need an encoder — `encoder` defaults
-    /// to the trainer's, so encoded-only inference servers can pass
-    /// neither. The engine must outlive the server.
+    /// partial_fit (updates are serialized across reactors by an internal
+    /// mutex); raw-feature predict payloads are answered through the
+    /// engine's off-loop encode stage when it is raw_capable(), else
+    /// encoded inline with `encoder` — which defaults to the trainer's,
+    /// so encoded-only inference servers can pass neither. The engine
+    /// must outlive the server.
     explicit wire_server(serve::inference_engine& engine,
                          wire_server_options options = {},
                          core::uhd_model* trainer = nullptr,
@@ -96,21 +116,31 @@ public:
     /// stop()s; see there.
     ~wire_server();
 
-    /// Bind, listen and spawn the event-loop thread. Throws uhd::error on
-    /// socket failures.
+    /// Bind the listeners, spawn the reactor threads. Throws uhd::error
+    /// on socket failures (and on an invalid UHD_NET_REACTORS).
     void start();
 
-    /// Shut down: stop accepting, close connections, join the loop
-    /// thread, and wait until every request already inside the engine has
+    /// Shut down: stop accepting, close connections, join every reactor,
+    /// and wait until every request already inside the engine has
     /// completed (so no engine callback can outlive this object).
     /// Idempotent.
     void stop();
 
-    /// The bound TCP port (valid after start()).
+    /// The bound TCP port, shared by every reactor (valid after start()).
     [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-    /// Live wire counters (safe from any thread).
-    [[nodiscard]] wire_stats stats() const noexcept { return counters_.load(); }
+    /// Reactor threads serving (valid after start(); 0 before).
+    [[nodiscard]] std::size_t reactor_count() const noexcept {
+        return reactors_.size();
+    }
+
+    /// Aggregated wire counters: the field-wise sum over every reactor
+    /// shard (safe from any thread).
+    [[nodiscard]] wire_stats stats() const noexcept;
+
+    /// One reactor's own shard (safe from any thread; `i` must be below
+    /// reactor_count()).
+    [[nodiscard]] wire_stats reactor_stats(std::size_t i) const;
 
 private:
     struct connection;
@@ -123,26 +153,58 @@ private:
         bool failed = false;
     };
 
-    void loop();
-    void accept_ready();
-    void drain_completions();
-    void pump_connection(connection& conn);
-    bool engine_stopped_guard(connection& conn);
-    bool parse_frames(connection& conn);
-    bool handle_frame(connection& conn, std::uint8_t op, std::uint32_t request_id,
-                      const std::uint8_t* payload, std::size_t payload_len);
-    bool handle_predict(connection& conn, std::uint8_t op, std::uint32_t request_id,
-                        const std::uint8_t* payload, std::size_t payload_len);
-    void handle_partial_fit(connection& conn, std::uint32_t request_id,
-                            const std::uint8_t* payload, std::size_t payload_len);
-    void handle_stats(connection& conn, std::uint32_t request_id);
-    bool submit_decoded(connection& conn, std::uint32_t request_id, bool dynamic,
-                        std::vector<std::int32_t>& encoded);
-    void queue_error(connection& conn, std::uint32_t request_id, wire_error code,
-                     const char* message);
-    void flush_writes(connection& conn);
-    void update_epoll_interest(connection& conn);
-    void close_connection(std::uint64_t conn_id);
+    /// One sharded event loop: everything the former single loop owned,
+    /// now per reactor. Heap-pinned (vector of unique_ptr) so completion
+    /// callbacks can capture a stable pointer.
+    struct reactor {
+        std::size_t index = 0;
+        socket_fd listener;
+        socket_fd epoll;
+        socket_fd wake; ///< eventfd: completion arrivals + stop signal
+        std::thread thread;
+        std::uint64_t next_conn_id = 2; ///< 0 = listener, 1 = eventfd
+        std::unordered_map<std::uint64_t, std::unique_ptr<connection>> conns;
+
+        // Completion mailbox: engine workers push, this reactor drains.
+        // The outstanding count lets stop() wait until no callback that
+        // captures this reactor can still be in flight.
+        std::mutex completions_mutex;
+        std::vector<completion> completions;
+        std::size_t outstanding = 0;
+        std::condition_variable outstanding_zero;
+
+        wire_counters counters; ///< this reactor's stats shard
+    };
+
+    void loop(reactor& r);
+    void accept_ready(reactor& r);
+    void drain_completions(reactor& r);
+    void pump_connection(reactor& r, connection& conn);
+    bool retry_parked(reactor& r, connection& conn);
+    bool parse_frames(reactor& r, connection& conn);
+    bool handle_frame(reactor& r, connection& conn, std::uint8_t op,
+                      std::uint32_t request_id, const std::uint8_t* payload,
+                      std::size_t payload_len);
+    bool handle_predict(reactor& r, connection& conn, std::uint8_t op,
+                        std::uint32_t request_id, const std::uint8_t* payload,
+                        std::size_t payload_len);
+    void handle_partial_fit(reactor& r, connection& conn,
+                            std::uint32_t request_id,
+                            const std::uint8_t* payload,
+                            std::size_t payload_len);
+    void handle_stats(reactor& r, connection& conn, std::uint32_t request_id);
+    bool submit_decoded(reactor& r, connection& conn, std::uint32_t request_id,
+                        bool dynamic, std::vector<std::int32_t>& encoded);
+    bool submit_raw(reactor& r, connection& conn, std::uint32_t request_id,
+                    bool dynamic, std::vector<std::uint8_t>& raw);
+    serve::answer_callback make_completion(reactor& r, std::uint64_t conn_id,
+                                           std::uint32_t request_id,
+                                           std::uint8_t reply_op);
+    void queue_error(reactor& r, connection& conn, std::uint32_t request_id,
+                     wire_error code, const char* message);
+    void flush_writes(reactor& r, connection& conn);
+    void update_epoll_interest(reactor& r, connection& conn);
+    void close_connection(reactor& r, std::uint64_t conn_id);
     [[nodiscard]] bool throttled(const connection& conn) const noexcept;
 
     serve::inference_engine& engine_;
@@ -150,27 +212,15 @@ private:
     const core::uhd_encoder* encoder_ = nullptr;
     wire_server_options options_;
 
-    socket_fd listener_;
-    socket_fd epoll_;
-    socket_fd wake_; ///< eventfd: completion arrivals + stop signal
+    std::vector<std::unique_ptr<reactor>> reactors_;
     std::uint16_t port_ = 0;
-    std::thread loop_thread_;
     std::atomic<bool> running_{false};
     std::mutex start_stop_mutex_; ///< serializes start()/stop() callers
 
-    std::uint64_t next_conn_id_ = 2; ///< 0 = listener, 1 = eventfd
-    std::unordered_map<std::uint64_t, std::unique_ptr<connection>> conns_;
-
-    // Completion mailbox: engine workers push, the loop drains. The
-    // outstanding count lets stop() wait until no callback can still be
-    // in flight.
-    std::mutex completions_mutex_;
-    std::vector<completion> completions_;
-    std::size_t outstanding_ = 0;
-    std::condition_variable outstanding_zero_;
-
-    std::uint64_t fits_ = 0; ///< cumulative partial_fit count (loop thread)
-    wire_counters counters_;
+    // Training path: any reactor may carry partial_fit, so the trainer
+    // (and the publish cadence counter) get one writer lock.
+    std::mutex trainer_mutex_;
+    std::uint64_t fits_ = 0; ///< cumulative partial_fit count (under lock)
 };
 
 } // namespace uhd::net

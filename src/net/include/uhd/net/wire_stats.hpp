@@ -1,7 +1,11 @@
-// Wire front-end counters: relaxed atomics bumped by the event loop (and,
-// for completions, by engine workers), snapshotted into a plain struct.
-// Same consistency contract as serve_stats: individually consistent,
-// possibly torn across fields mid-flight.
+// Wire front-end counters: relaxed atomics bumped by one reactor loop
+// (and, for completions, by engine workers), snapshotted into a plain
+// struct. Same consistency contract as serve_stats: individually
+// consistent, possibly torn across fields mid-flight.
+//
+// Sharding: with N reactors the server keeps one wire_counters per
+// reactor; each shard is written only by its own loop thread, and
+// wire_server::stats() sums the shards on read (wire_stats::operator+=).
 #ifndef UHD_NET_WIRE_STATS_HPP
 #define UHD_NET_WIRE_STATS_HPP
 
@@ -10,7 +14,8 @@
 
 namespace uhd::net {
 
-/// Point-in-time view of the wire counters (plain data, safe to copy).
+/// Point-in-time view of the wire counters (plain data, safe to copy) —
+/// one reactor's shard, or the sum over all shards.
 struct wire_stats {
     std::uint64_t connections_accepted = 0; ///< accept4() successes
     std::uint64_t connections_active = 0;   ///< currently open connections
@@ -20,12 +25,47 @@ struct wire_stats {
     std::uint64_t bytes_out = 0;            ///< bytes written to sockets
     std::uint64_t malformed_frames = 0;     ///< frames answered with op_error
     std::uint64_t throttle_events = 0;      ///< reads paused for backpressure
+    std::uint64_t loop_cpu_ns = 0;          ///< CLOCK_THREAD_CPUTIME_ID of the
+                                            ///< reactor thread (utilization =
+                                            ///< loop_cpu_ns / wall time)
+
+    /// Shard aggregation: field-wise sum (all counters are additive,
+    /// including active-connection gauges — each connection lives in
+    /// exactly one shard).
+    wire_stats& operator+=(const wire_stats& other) noexcept {
+        connections_accepted += other.connections_accepted;
+        connections_active += other.connections_active;
+        frames_in += other.frames_in;
+        frames_out += other.frames_out;
+        bytes_in += other.bytes_in;
+        bytes_out += other.bytes_out;
+        malformed_frames += other.malformed_frames;
+        throttle_events += other.throttle_events;
+        loop_cpu_ns += other.loop_cpu_ns;
+        return *this;
+    }
 };
 
-/// Live counters behind wire_server::stats(). The event loop is single
-/// threaded, but stats() is callable from any thread, so these are
-/// atomics; relaxed ordering — telemetry, not synchronization.
-class wire_counters {
+/// Live counters behind wire_server::stats() — one shard per reactor.
+/// Each shard has a single writer (its reactor loop; completions bump
+/// frames_out from the loop too, after the mailbox drain), but stats()
+/// is callable from any thread, so these are atomics; relaxed ordering —
+/// telemetry, not synchronization.
+///
+/// The shard as a whole is alignas(64): adjacent shards in the reactor
+/// array must not share a cache line, or reactor A's counter bumps would
+/// ping-pong the line under reactor B (the same false-sharing pattern
+/// measured on serve_counters, where padding bought ~10% wire qps on a
+/// multi-core box). Unlike serve_counters, fields within one shard share
+/// lines on purpose — they have one writer, so there is no intra-shard
+/// contention to pad away. Honest caveat: the dev box exposes a single
+/// allowed CPU (reactors time-share one core, so lines never ping-pong
+/// between sockets), and the before/after there showed no difference —
+/// best-of-3 sweep qps at 2 reactors, encoded payloads, was 159k padded
+/// vs 160k unpadded, inside run-to-run noise. The layout is adopted for
+/// the multi-core case the sharding exists for, at a cost of
+/// sizeof(wire_counters) 72 -> 128 bytes per reactor.
+class alignas(64) wire_counters {
 public:
     void record_accept() noexcept {
         accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -52,6 +92,11 @@ public:
     void record_throttle() noexcept {
         throttles_.fetch_add(1, std::memory_order_relaxed);
     }
+    /// Publish the reactor thread's cumulative CPU time (sampled by the
+    /// loop once per epoll_wait round; an absolute store, not an add).
+    void record_loop_cpu(std::uint64_t total_ns) noexcept {
+        loop_cpu_ns_.store(total_ns, std::memory_order_relaxed);
+    }
 
     [[nodiscard]] wire_stats load() const noexcept {
         wire_stats out;
@@ -63,6 +108,7 @@ public:
         out.bytes_out = bytes_out_.load(std::memory_order_relaxed);
         out.malformed_frames = malformed_.load(std::memory_order_relaxed);
         out.throttle_events = throttles_.load(std::memory_order_relaxed);
+        out.loop_cpu_ns = loop_cpu_ns_.load(std::memory_order_relaxed);
         return out;
     }
 
@@ -75,6 +121,7 @@ private:
     std::atomic<std::uint64_t> bytes_out_{0};
     std::atomic<std::uint64_t> malformed_{0};
     std::atomic<std::uint64_t> throttles_{0};
+    std::atomic<std::uint64_t> loop_cpu_ns_{0};
 };
 
 } // namespace uhd::net

@@ -27,12 +27,16 @@ void socket_fd::reset(int fd) noexcept {
     fd_ = fd;
 }
 
-socket_fd listen_tcp(std::uint16_t port, int backlog) {
+socket_fd listen_tcp(std::uint16_t port, int backlog, bool reuse_port) {
     socket_fd sock(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
     if (!sock.valid()) throw_errno("socket()");
     const int one = 1;
     if (::setsockopt(sock.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
         throw_errno("setsockopt(SO_REUSEADDR)");
+    }
+    if (reuse_port &&
+        ::setsockopt(sock.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+        throw_errno("setsockopt(SO_REUSEPORT)");
     }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;

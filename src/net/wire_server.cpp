@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <optional>
 #include <span>
 #include <utility>
@@ -11,6 +12,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "uhd/common/affinity.hpp"
+#include "uhd/common/config.hpp"
 #include "uhd/common/error.hpp"
 #include "uhd/net/wire_format.hpp"
 
@@ -22,9 +25,26 @@ constexpr std::uint64_t listener_id = 0;
 constexpr std::uint64_t wake_id = 1;
 constexpr std::size_t read_chunk = 64 * 1024;
 
+/// options.reactors, with 0 resolving UHD_NET_REACTORS (default 1).
+std::size_t resolve_reactors(std::size_t configured) {
+    if (configured != 0) return configured;
+    const std::int64_t env = env_int("UHD_NET_REACTORS", 1);
+    UHD_REQUIRE(env >= 1 && env <= 256, "UHD_NET_REACTORS must be in [1, 256]");
+    return static_cast<std::size_t>(env);
+}
+
+/// Cumulative CPU time of the calling thread (the reactor-utilization
+/// numerator; 0 when the clock is unavailable).
+std::uint64_t thread_cpu_ns() noexcept {
+    timespec ts{};
+    if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
 } // namespace
 
-/// Per-connection state, owned by the event loop.
+/// Per-connection state, owned by the accepting reactor's event loop.
 struct wire_server::connection {
     socket_fd sock;
     std::uint64_t id = 0;
@@ -47,9 +67,11 @@ struct wire_server::connection {
     bool throttle_counted = false;  ///< one throttle_event per pause episode
 
     // A request the engine queue refused (full): retried before any new
-    // frame is parsed, preserving per-connection order.
+    // frame is parsed, preserving per-connection order. Holds either a
+    // decoded query (`encoded`) or raw features (`raw`), never both.
     struct parked_request {
         std::vector<std::int32_t> encoded;
+        std::vector<std::uint8_t> raw;
         std::uint32_t request_id = 0;
         bool dynamic = false;
     };
@@ -67,6 +89,10 @@ wire_server::wire_server(serve::inference_engine& engine,
     UHD_REQUIRE(options_.inflight_cap >= 1, "in-flight cap must be positive");
     UHD_REQUIRE(options_.max_payload >= 1, "payload cap must be positive");
     if (options_.publish_every == 0) options_.publish_every = 1;
+    // Resolve the env knobs on the constructing thread so bad values throw
+    // here, not inside a reactor.
+    options_.reactors = resolve_reactors(options_.reactors);
+    (void)resolved_affinity();
 }
 
 wire_server::~wire_server() { stop(); }
@@ -75,55 +101,95 @@ void wire_server::start() {
     const std::lock_guard<std::mutex> lock(start_stop_mutex_);
     UHD_REQUIRE(!running_.load(std::memory_order_acquire),
                 "wire_server already started");
-    listener_ = listen_tcp(options_.port, options_.backlog);
-    port_ = local_port(listener_.get());
-    epoll_.reset(::epoll_create1(EPOLL_CLOEXEC));
-    if (!epoll_.valid()) throw uhd::error("epoll_create1() failed");
-    wake_.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
-    if (!wake_.valid()) throw uhd::error("eventfd() failed");
+    reactors_.clear(); // previous run's (joined) shards, if any
+    const std::size_t n = options_.reactors;
+    // With n > 1 every listener shares the port via SO_REUSEPORT and the
+    // kernel load-balances accepts. The first bind may be ephemeral
+    // (port 0); the rest bind the concrete port it resolved to.
+    const bool reuse = n > 1;
+    try {
+        for (std::size_t i = 0; i < n; ++i) {
+            auto r = std::make_unique<reactor>();
+            r->index = i;
+            r->listener = listen_tcp(i == 0 ? options_.port : port_,
+                                     options_.backlog, reuse);
+            if (i == 0) port_ = local_port(r->listener.get());
+            r->epoll.reset(::epoll_create1(EPOLL_CLOEXEC));
+            if (!r->epoll.valid()) throw uhd::error("epoll_create1() failed");
+            r->wake.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+            if (!r->wake.valid()) throw uhd::error("eventfd() failed");
 
-    epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLET;
-    ev.data.u64 = listener_id;
-    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &ev) != 0) {
-        throw uhd::error("epoll_ctl(listener) failed");
-    }
-    ev.events = EPOLLIN | EPOLLET;
-    ev.data.u64 = wake_id;
-    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev) != 0) {
-        throw uhd::error("epoll_ctl(eventfd) failed");
+            epoll_event ev{};
+            ev.events = EPOLLIN | EPOLLET;
+            ev.data.u64 = listener_id;
+            if (::epoll_ctl(r->epoll.get(), EPOLL_CTL_ADD, r->listener.get(),
+                            &ev) != 0) {
+                throw uhd::error("epoll_ctl(listener) failed");
+            }
+            ev.events = EPOLLIN | EPOLLET;
+            ev.data.u64 = wake_id;
+            if (::epoll_ctl(r->epoll.get(), EPOLL_CTL_ADD, r->wake.get(),
+                            &ev) != 0) {
+                throw uhd::error("epoll_ctl(eventfd) failed");
+            }
+            reactors_.push_back(std::move(r));
+        }
+    } catch (...) {
+        reactors_.clear(); // no threads spawned yet: sockets just close
+        throw;
     }
 
     running_.store(true, std::memory_order_release);
-    loop_thread_ = std::thread([this] { loop(); });
+    for (auto& r : reactors_) {
+        reactor* raw = r.get();
+        raw->thread = std::thread([this, raw] { loop(*raw); });
+    }
 }
 
 void wire_server::stop() {
     const std::lock_guard<std::mutex> lock(start_stop_mutex_);
-    if (loop_thread_.joinable()) {
-        running_.store(false, std::memory_order_release);
+    running_.store(false, std::memory_order_release);
+    for (auto& r : reactors_) {
+        if (!r->thread.joinable()) continue;
         const std::uint64_t one = 1;
         // Best-effort kick; the loop also times out of epoll_wait.
         [[maybe_unused]] const ssize_t n =
-            ::write(wake_.get(), &one, sizeof(one));
-        loop_thread_.join();
+            ::write(r->wake.get(), &one, sizeof(one));
+        r->thread.join();
     }
-    conns_.clear();
-    listener_.reset();
-    epoll_.reset();
-    // Wait out requests already inside the engine: their completion
-    // callbacks capture `this`, so none may run after destruction. The
-    // callbacks only touch the mailbox (connections are already gone).
-    std::unique_lock<std::mutex> pending(completions_mutex_);
-    outstanding_zero_.wait(pending, [this] { return outstanding_ == 0; });
-    completions_.clear();
-    wake_.reset();
+    for (auto& r : reactors_) {
+        r->conns.clear();
+        r->listener.reset();
+        r->epoll.reset();
+        // Wait out requests already inside the engine: their completion
+        // callbacks capture this reactor, so none may run after the shard
+        // is torn down. The callbacks only touch the mailbox (connections
+        // are already gone).
+        std::unique_lock<std::mutex> pending(r->completions_mutex);
+        r->outstanding_zero.wait(pending, [&r] { return r->outstanding == 0; });
+        r->completions.clear();
+        r->wake.reset();
+    }
+    // reactors_ stays populated (threads joined, fds closed) so stats()
+    // keeps reporting the final shard counters; the next start() clears it.
 }
 
-void wire_server::loop() {
+wire_stats wire_server::stats() const noexcept {
+    wire_stats total;
+    for (const auto& r : reactors_) total += r->counters.load();
+    return total;
+}
+
+wire_stats wire_server::reactor_stats(std::size_t i) const {
+    UHD_REQUIRE(i < reactors_.size(), "reactor_stats index out of range");
+    return reactors_[i]->counters.load();
+}
+
+void wire_server::loop(reactor& r) {
+    pin_this_thread(); // UHD_AFFINITY=auto: distinct core per reactor
     epoll_event events[64];
     while (running_.load(std::memory_order_acquire)) {
-        const int n = ::epoll_wait(epoll_.get(), events, 64, 100);
+        const int n = ::epoll_wait(r.epoll.get(), events, 64, 100);
         if (n < 0) {
             if (errno == EINTR) continue;
             break; // epoll fd gone: shutdown race
@@ -131,36 +197,39 @@ void wire_server::loop() {
         for (int i = 0; i < n; ++i) {
             const std::uint64_t id = events[i].data.u64;
             if (id == listener_id) {
-                accept_ready();
+                accept_ready(r);
                 continue;
             }
             if (id == wake_id) {
                 std::uint64_t drained = 0;
-                while (::read(wake_.get(), &drained, sizeof(drained)) > 0) {
+                while (::read(r.wake.get(), &drained, sizeof(drained)) > 0) {
                 }
                 continue; // completions handled below, every iteration
             }
-            const auto it = conns_.find(id);
-            if (it == conns_.end()) continue; // closed earlier this wake-up
+            const auto it = r.conns.find(id);
+            if (it == r.conns.end()) continue; // closed earlier this wake-up
             connection& conn = *it->second;
             if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
-                close_connection(id);
+                close_connection(r, id);
                 continue;
             }
             if ((events[i].events & EPOLLIN) != 0) conn.read_ready = true;
-            if ((events[i].events & EPOLLOUT) != 0) flush_writes(conn);
-            if (conns_.find(id) == conns_.end()) continue; // flush closed it
-            pump_connection(conn);
+            if ((events[i].events & EPOLLOUT) != 0) flush_writes(r, conn);
+            if (r.conns.find(id) == r.conns.end()) continue; // flush closed it
+            pump_connection(r, conn);
         }
         // Completions may have arrived during the handling above (or the
         // eventfd fired): deliver replies and un-throttle connections.
-        drain_completions();
+        drain_completions(r);
+        // Publish this thread's cumulative CPU time: the reactor
+        // utilization numerator (divide by wall time to get busy share).
+        r.counters.record_loop_cpu(thread_cpu_ns());
     }
 }
 
-void wire_server::accept_ready() {
+void wire_server::accept_ready(reactor& r) {
     while (true) {
-        const int fd = ::accept4(listener_.get(), nullptr, nullptr,
+        const int fd = ::accept4(r.listener.get(), nullptr, nullptr,
                                  SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (fd < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -169,7 +238,7 @@ void wire_server::accept_ready() {
         }
         auto conn = std::make_unique<connection>();
         conn->sock.reset(fd);
-        conn->id = next_conn_id_++;
+        conn->id = r.next_conn_id++;
         try {
             set_tcp_nodelay(fd);
         } catch (const uhd::error&) {
@@ -178,43 +247,43 @@ void wire_server::accept_ready() {
         epoll_event ev{};
         ev.events = EPOLLIN | EPOLLET;
         ev.data.u64 = conn->id;
-        if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+        if (::epoll_ctl(r.epoll.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
             continue; // connection dropped; socket_fd closes it
         }
-        counters_.record_accept();
-        conns_.emplace(conn->id, std::move(conn));
+        r.counters.record_accept();
+        r.conns.emplace(conn->id, std::move(conn));
     }
 }
 
-void wire_server::drain_completions() {
+void wire_server::drain_completions(reactor& r) {
     std::vector<completion> batch;
     {
-        const std::lock_guard<std::mutex> lock(completions_mutex_);
-        batch.swap(completions_);
+        const std::lock_guard<std::mutex> lock(r.completions_mutex);
+        batch.swap(r.completions);
     }
     if (batch.empty()) return;
     for (const completion& done : batch) {
-        const auto it = conns_.find(done.conn_id);
-        if (it == conns_.end()) continue; // connection died while in flight
+        const auto it = r.conns.find(done.conn_id);
+        if (it == r.conns.end()) continue; // connection died while in flight
         connection& conn = *it->second;
         if (conn.inflight > 0) --conn.inflight;
         std::uint8_t payload[12];
         if (done.failed) {
-            queue_error(conn, done.request_id, wire_error::internal,
+            queue_error(r, conn, done.request_id, wire_error::internal,
                         "engine failed to answer");
         } else {
             store_u32(payload, done.label);
             store_u64(payload + 4, done.snapshot_version);
             append_frame(conn.wbuf, done.reply_op, done.request_id,
                          std::span<const std::uint8_t>(payload, sizeof(payload)));
-            counters_.record_frame_out();
+            r.counters.record_frame_out();
         }
     }
     // Re-pump every touched connection once: flush the replies and, now
     // that in-flight counts dropped, resume throttled reads.
     for (const completion& done : batch) {
-        const auto it = conns_.find(done.conn_id);
-        if (it != conns_.end()) pump_connection(*it->second);
+        const auto it = r.conns.find(done.conn_id);
+        if (it != r.conns.end()) pump_connection(r, *it->second);
     }
 }
 
@@ -223,23 +292,23 @@ bool wire_server::throttled(const connection& conn) const noexcept {
            conn.wbuf.size() - conn.wpos > options_.write_buffer_cap;
 }
 
-void wire_server::pump_connection(connection& conn) {
+void wire_server::pump_connection(reactor& r, connection& conn) {
     const std::uint64_t id = conn.id;
     // Retry the parked request first: order within a connection is FIFO.
-    if (conn.parked.has_value() && !engine_stopped_guard(conn)) {
+    if (conn.parked.has_value() && !retry_parked(r, conn)) {
         return; // helper closed the connection
     }
     while (true) {
         // Parse whatever is already buffered.
-        if (!parse_frames(conn)) {
-            close_connection(id);
+        if (!parse_frames(r, conn)) {
+            close_connection(r, id);
             return;
         }
         if (conn.close_after_flush || conn.peer_eof) break;
         if (throttled(conn)) {
             if (!conn.throttle_counted) {
                 conn.throttle_counted = true;
-                counters_.record_throttle();
+                r.counters.record_throttle();
             }
             break; // stop reading: socket-level backpressure
         }
@@ -255,7 +324,7 @@ void wire_server::pump_connection(connection& conn) {
             ::recv(conn.sock.get(), conn.rbuf.data() + base, read_chunk, 0);
         if (got > 0) {
             conn.rbuf.resize(base + static_cast<std::size_t>(got));
-            counters_.record_bytes_in(static_cast<std::uint64_t>(got));
+            r.counters.record_bytes_in(static_cast<std::uint64_t>(got));
             continue;
         }
         conn.rbuf.resize(base);
@@ -268,73 +337,78 @@ void wire_server::pump_connection(connection& conn) {
             break;
         }
         if (errno == EINTR) continue;
-        close_connection(id);
+        close_connection(r, id);
         return;
     }
-    flush_writes(conn);
-    if (conns_.find(id) == conns_.end()) return; // flush hit a dead socket
+    flush_writes(r, conn);
+    if (r.conns.find(id) == r.conns.end()) return; // flush hit a dead socket
     // EOF: once nothing is in flight and nothing is buffered, we are done.
     if (conn.peer_eof && conn.inflight == 0 && !conn.parked.has_value() &&
         conn.wpos == conn.wbuf.size()) {
-        close_connection(id);
+        close_connection(r, id);
         return;
     }
     if (conn.close_after_flush && conn.wpos == conn.wbuf.size() &&
         conn.inflight == 0) {
-        close_connection(id);
+        close_connection(r, id);
         return;
     }
-    update_epoll_interest(conn);
+    update_epoll_interest(r, conn);
 }
 
-/// Retry the parked request. Returns false when the connection was closed
-/// (engine stopped underneath us).
-bool wire_server::engine_stopped_guard(connection& conn) {
+/// Retry the parked request (decoded or raw). Returns false when the
+/// connection was closed (engine stopped underneath us).
+bool wire_server::retry_parked(reactor& r, connection& conn) {
     connection::parked_request& parked = *conn.parked;
     try {
-        if (!submit_decoded(conn, parked.request_id, parked.dynamic,
-                            parked.encoded)) {
+        const bool pushed =
+            parked.raw.empty()
+                ? submit_decoded(r, conn, parked.request_id, parked.dynamic,
+                                 parked.encoded)
+                : submit_raw(r, conn, parked.request_id, parked.dynamic,
+                             parked.raw);
+        if (!pushed) {
             return true; // still full: stay parked, stay throttled
         }
     } catch (const uhd::error&) {
-        close_connection(conn.id);
+        close_connection(r, conn.id);
         return false;
     }
     conn.parked.reset();
     return true;
 }
 
-bool wire_server::parse_frames(connection& conn) {
+bool wire_server::parse_frames(reactor& r, connection& conn) {
     while (!conn.close_after_flush && !throttled(conn)) {
         const std::size_t avail = conn.rbuf.size() - conn.rpos;
         if (avail < wire_header_size) break;
         const std::uint8_t* base = conn.rbuf.data() + conn.rpos;
         const frame_header header = decode_header(base);
         if (header.magic != wire_magic) {
-            counters_.record_malformed();
-            queue_error(conn, header.request_id, wire_error::bad_magic,
+            r.counters.record_malformed();
+            queue_error(r, conn, header.request_id, wire_error::bad_magic,
                         "bad frame magic");
             conn.close_after_flush = true; // desynced stream: cannot recover
             break;
         }
         if (header.version != wire_version) {
-            counters_.record_malformed();
-            queue_error(conn, header.request_id, wire_error::bad_version,
+            r.counters.record_malformed();
+            queue_error(r, conn, header.request_id, wire_error::bad_version,
                         "unsupported protocol version");
             conn.close_after_flush = true;
             break;
         }
         if (header.payload_len > options_.max_payload) {
-            counters_.record_malformed();
-            queue_error(conn, header.request_id, wire_error::oversized,
+            r.counters.record_malformed();
+            queue_error(r, conn, header.request_id, wire_error::oversized,
                         "payload exceeds server cap");
             conn.close_after_flush = true; // cannot safely skip the body
             break;
         }
         if (avail < wire_header_size + header.payload_len) break; // truncated
-        counters_.record_frame_in();
+        r.counters.record_frame_in();
         conn.rpos += wire_header_size + header.payload_len;
-        if (!handle_frame(conn, header.op, header.request_id,
+        if (!handle_frame(r, conn, header.op, header.request_id,
                           base + wire_header_size, header.payload_len)) {
             return false; // engine stopped: drop the connection
         }
@@ -353,60 +427,93 @@ bool wire_server::parse_frames(connection& conn) {
     return true;
 }
 
-bool wire_server::handle_frame(connection& conn, std::uint8_t op,
+bool wire_server::handle_frame(reactor& r, connection& conn, std::uint8_t op,
                                std::uint32_t request_id,
                                const std::uint8_t* payload,
                                std::size_t payload_len) {
     switch (static_cast<opcode>(op)) {
     case opcode::predict:
     case opcode::predict_dynamic:
-        return handle_predict(conn, op, request_id, payload, payload_len);
+        return handle_predict(r, conn, op, request_id, payload, payload_len);
     case opcode::partial_fit:
-        handle_partial_fit(conn, request_id, payload, payload_len);
+        handle_partial_fit(r, conn, request_id, payload, payload_len);
         return true;
     case opcode::stats:
-        handle_stats(conn, request_id);
+        handle_stats(r, conn, request_id);
         return true;
     case opcode::ping:
         append_frame(conn.wbuf, reply_opcode(opcode::ping), request_id,
                      std::span<const std::uint8_t>(payload, payload_len));
-        counters_.record_frame_out();
+        r.counters.record_frame_out();
         return true;
     default:
-        counters_.record_malformed();
-        queue_error(conn, request_id, wire_error::bad_opcode,
+        r.counters.record_malformed();
+        queue_error(r, conn, request_id, wire_error::bad_opcode,
                     "unknown request opcode");
         return true; // framing is intact: the connection survives
     }
 }
 
-bool wire_server::handle_predict(connection& conn, std::uint8_t op,
+bool wire_server::handle_predict(reactor& r, connection& conn, std::uint8_t op,
                                  std::uint32_t request_id,
                                  const std::uint8_t* payload,
                                  std::size_t payload_len) {
     const bool dynamic = static_cast<opcode>(op) == opcode::predict_dynamic;
     if (dynamic && !engine_.dynamic_capable()) {
-        counters_.record_malformed();
-        queue_error(conn, request_id, wire_error::unsupported,
+        r.counters.record_malformed();
+        queue_error(r, conn, request_id, wire_error::unsupported,
                     "engine has no dynamic policy");
         return true;
     }
     if (payload_len < 1) {
-        counters_.record_malformed();
-        queue_error(conn, request_id, wire_error::bad_payload,
+        r.counters.record_malformed();
+        queue_error(r, conn, request_id, wire_error::bad_payload,
                     "empty predict payload");
         return true;
     }
     const auto kind = static_cast<query_kind>(payload[0]);
     const std::uint8_t* body = payload + 1;
     const std::size_t body_len = payload_len - 1;
+    if (kind == query_kind::raw) {
+        // Preferred path: hand the raw bytes to the engine — its workers
+        // batch-encode each drained micro-batch off this thread. Fallback
+        // (engine without an encoder, the pre-encode-stage configuration):
+        // encode inline here with the server's encoder.
+        const bool off_loop = engine_.raw_capable();
+        if (!off_loop && encoder_ == nullptr) {
+            r.counters.record_malformed();
+            queue_error(r, conn, request_id, wire_error::unsupported,
+                        "server has no encoder for raw features");
+            return true;
+        }
+        const std::size_t pixels =
+            off_loop ? engine_.raw_pixels() : encoder_->pixels();
+        if (body_len != pixels) {
+            r.counters.record_malformed();
+            queue_error(r, conn, request_id, wire_error::bad_payload,
+                        "raw payload size != encoder pixels");
+            return true;
+        }
+        if (off_loop) {
+            std::vector<std::uint8_t> raw(body, body + body_len);
+            try {
+                if (!submit_raw(r, conn, request_id, dynamic, raw)) {
+                    conn.parked.emplace(connection::parked_request{
+                        {}, std::move(raw), request_id, dynamic});
+                }
+            } catch (const uhd::error&) {
+                return false; // engine stopped: caller closes the connection
+            }
+            return true;
+        }
+    }
     // Decode straight out of the read buffer into the request vector the
     // engine will consume — the only transform between socket and kernel.
     std::vector<std::int32_t> encoded;
     if (kind == query_kind::encoded) {
         if (body_len != engine_.dim() * 4) {
-            counters_.record_malformed();
-            queue_error(conn, request_id, wire_error::bad_payload,
+            r.counters.record_malformed();
+            queue_error(r, conn, request_id, wire_error::bad_payload,
                         "encoded payload size != dim * 4");
             return true;
         }
@@ -415,32 +522,20 @@ bool wire_server::handle_predict(connection& conn, std::uint8_t op,
             encoded[i] = static_cast<std::int32_t>(load_u32(body + i * 4));
         }
     } else if (kind == query_kind::raw) {
-        if (encoder_ == nullptr) {
-            counters_.record_malformed();
-            queue_error(conn, request_id, wire_error::unsupported,
-                        "server has no encoder for raw features");
-            return true;
-        }
-        if (body_len != encoder_->pixels()) {
-            counters_.record_malformed();
-            queue_error(conn, request_id, wire_error::bad_payload,
-                        "raw payload size != encoder pixels");
-            return true;
-        }
         encoded.resize(encoder_->dim());
         encoder_->encode(std::span<const std::uint8_t>(body, body_len), encoded);
     } else {
-        counters_.record_malformed();
-        queue_error(conn, request_id, wire_error::bad_payload,
+        r.counters.record_malformed();
+        queue_error(r, conn, request_id, wire_error::bad_payload,
                     "unknown query kind");
         return true;
     }
     try {
-        if (!submit_decoded(conn, request_id, dynamic, encoded)) {
+        if (!submit_decoded(r, conn, request_id, dynamic, encoded)) {
             // Engine queue full: park and throttle (parse_frames stops on
             // the next throttled() check, so order is preserved).
             conn.parked.emplace(connection::parked_request{
-                std::move(encoded), request_id, dynamic});
+                std::move(encoded), {}, request_id, dynamic});
         }
     } catch (const uhd::error&) {
         return false; // engine stopped: caller closes the connection
@@ -448,103 +543,142 @@ bool wire_server::handle_predict(connection& conn, std::uint8_t op,
     return true;
 }
 
-bool wire_server::submit_decoded(connection& conn, std::uint32_t request_id,
-                                 bool dynamic,
+serve::answer_callback wire_server::make_completion(reactor& r,
+                                                    std::uint64_t conn_id,
+                                                    std::uint32_t request_id,
+                                                    std::uint8_t reply_op) {
+    reactor* shard = &r; // heap-pinned; outlives every outstanding callback
+    return [shard, conn_id, request_id, reply_op](std::size_t label,
+                                                  std::uint64_t version,
+                                                  std::exception_ptr error) {
+        const std::lock_guard<std::mutex> lock(shard->completions_mutex);
+        shard->completions.push_back(completion{
+            conn_id, request_id, reply_op, static_cast<std::uint32_t>(label),
+            version, error != nullptr});
+        // Everything below stays under the mutex on purpose — stop()
+        // tears the shard down right after it observes outstanding == 0,
+        // so the eventfd write must precede the decrement (stop() closes
+        // wake), and the notify must happen while the lock pins the
+        // waiter inside its wait (notify-after-unlock would race the cv's
+        // destruction). An eventfd write never blocks in practice — the
+        // counter would have to hit 2^64-1.
+        const std::uint64_t one = 1;
+        [[maybe_unused]] const ssize_t n =
+            ::write(shard->wake.get(), &one, sizeof(one));
+        --shard->outstanding;
+        if (shard->outstanding == 0) shard->outstanding_zero.notify_all();
+    };
+}
+
+bool wire_server::submit_decoded(reactor& r, connection& conn,
+                                 std::uint32_t request_id, bool dynamic,
                                  std::vector<std::int32_t>& encoded) {
-    const std::uint64_t conn_id = conn.id;
     const std::uint8_t reply_op =
         reply_opcode(dynamic ? opcode::predict_dynamic : opcode::predict);
     {
         // Count before submitting: the callback may fire on a worker
         // before try_submit even returns.
-        const std::lock_guard<std::mutex> lock(completions_mutex_);
-        ++outstanding_;
+        const std::lock_guard<std::mutex> lock(r.completions_mutex);
+        ++r.outstanding;
     }
     bool pushed = false;
     try {
         pushed = engine_.try_submit(
-            encoded,
-            [this, conn_id, request_id, reply_op](
-                std::size_t label, std::uint64_t version,
-                std::exception_ptr error) {
-                const std::lock_guard<std::mutex> lock(completions_mutex_);
-                completions_.push_back(completion{
-                    conn_id, request_id, reply_op,
-                    static_cast<std::uint32_t>(label), version,
-                    error != nullptr});
-                // Everything below stays under the mutex on purpose —
-                // stop() destroys this object right after it observes
-                // outstanding_ == 0, so the eventfd write must precede the
-                // decrement (stop() closes wake_), and the notify must
-                // happen while the lock pins the waiter inside its wait
-                // (notify-after-unlock would race the cv's destruction).
-                // An eventfd write never blocks in practice — the counter
-                // would have to hit 2^64-1.
-                const std::uint64_t one = 1;
-                [[maybe_unused]] const ssize_t n =
-                    ::write(wake_.get(), &one, sizeof(one));
-                --outstanding_;
-                if (outstanding_ == 0) outstanding_zero_.notify_all();
-            },
+            encoded, make_completion(r, conn.id, request_id, reply_op),
             dynamic);
     } catch (...) {
-        const std::lock_guard<std::mutex> lock(completions_mutex_);
-        --outstanding_;
+        const std::lock_guard<std::mutex> lock(r.completions_mutex);
+        --r.outstanding;
         throw;
     }
     if (!pushed) {
-        const std::lock_guard<std::mutex> lock(completions_mutex_);
-        --outstanding_; // callback will never run
+        const std::lock_guard<std::mutex> lock(r.completions_mutex);
+        --r.outstanding; // callback will never run
         return false;
     }
     ++conn.inflight;
     return true;
 }
 
-void wire_server::handle_partial_fit(connection& conn, std::uint32_t request_id,
+bool wire_server::submit_raw(reactor& r, connection& conn,
+                             std::uint32_t request_id, bool dynamic,
+                             std::vector<std::uint8_t>& raw) {
+    const std::uint8_t reply_op =
+        reply_opcode(dynamic ? opcode::predict_dynamic : opcode::predict);
+    {
+        const std::lock_guard<std::mutex> lock(r.completions_mutex);
+        ++r.outstanding;
+    }
+    bool pushed = false;
+    try {
+        pushed = engine_.try_submit_raw(
+            raw, make_completion(r, conn.id, request_id, reply_op), dynamic);
+    } catch (...) {
+        const std::lock_guard<std::mutex> lock(r.completions_mutex);
+        --r.outstanding;
+        throw;
+    }
+    if (!pushed) {
+        const std::lock_guard<std::mutex> lock(r.completions_mutex);
+        --r.outstanding; // callback will never run
+        return false;
+    }
+    ++conn.inflight;
+    return true;
+}
+
+void wire_server::handle_partial_fit(reactor& r, connection& conn,
+                                     std::uint32_t request_id,
                                      const std::uint8_t* payload,
                                      std::size_t payload_len) {
     if (trainer_ == nullptr) {
-        counters_.record_malformed();
-        queue_error(conn, request_id, wire_error::unsupported,
+        r.counters.record_malformed();
+        queue_error(r, conn, request_id, wire_error::unsupported,
                     "server has no trainer");
         return;
     }
     const std::size_t pixels = trainer_->encoder().pixels();
     if (payload_len != 4 + pixels) {
-        counters_.record_malformed();
-        queue_error(conn, request_id, wire_error::bad_payload,
+        r.counters.record_malformed();
+        queue_error(r, conn, request_id, wire_error::bad_payload,
                     "partial_fit payload size != 4 + pixels");
         return;
     }
     const std::uint32_t label = load_u32(payload);
+    std::uint64_t fits = 0;
+    std::uint64_t version = 0;
     try {
-        // Runs inline on the loop thread — the server is the trainer's
-        // single writer, so online learning needs no extra locking. The
-        // publish is the engine's RCU pointer swap.
+        // partial_fit may arrive on any reactor, so the trainer gets one
+        // writer lock (the single cross-reactor lock, training path only).
+        // The publish stays under it too, keeping fit -> snapshot-version
+        // ordering exact. The publish itself is the engine's RCU pointer
+        // swap.
+        const std::lock_guard<std::mutex> train_lock(trainer_mutex_);
         trainer_->partial_fit(
             std::span<const std::uint8_t>(payload + 4, pixels), label);
-        ++fits_;
+        fits = ++fits_;
         if (fits_ % options_.publish_every == 1 || options_.publish_every == 1) {
             engine_.publish(trainer_->snapshot());
         }
+        version = engine_.current()->version();
     } catch (const uhd::error&) {
-        counters_.record_malformed();
-        queue_error(conn, request_id, wire_error::bad_payload,
+        r.counters.record_malformed();
+        queue_error(r, conn, request_id, wire_error::bad_payload,
                     "partial_fit rejected (label/geometry)");
         return;
     }
     std::uint8_t reply[16];
-    store_u64(reply, fits_);
-    store_u64(reply + 8, engine_.current()->version());
+    store_u64(reply, fits);
+    store_u64(reply + 8, version);
     append_frame(conn.wbuf, reply_opcode(opcode::partial_fit), request_id,
                  std::span<const std::uint8_t>(reply, sizeof(reply)));
-    counters_.record_frame_out();
+    r.counters.record_frame_out();
 }
 
-void wire_server::handle_stats(connection& conn, std::uint32_t request_id) {
+void wire_server::handle_stats(reactor& r, connection& conn,
+                               std::uint32_t request_id) {
     const serve::serve_stats engine_stats = engine_.stats();
-    const wire_stats wire = counters_.load();
+    const wire_stats wire = stats(); // sum over every reactor shard
     stats_reply reply;
     reply.queries = engine_stats.queries;
     reply.batches = engine_stats.batches;
@@ -560,32 +694,36 @@ void wire_server::handle_stats(connection& conn, std::uint32_t request_id) {
     reply.bytes_out = wire.bytes_out;
     reply.malformed_frames = wire.malformed_frames;
     reply.throttle_events = wire.throttle_events;
+    reply.reactors = reactors_.size();
+    reply.raw_queries = engine_stats.raw_queries;
+    reply.encode_kernel_calls = engine_stats.encode_kernel_calls;
     std::uint8_t payload[stats_reply_size];
     encode_stats_reply(payload, reply);
     append_frame(conn.wbuf, reply_opcode(opcode::stats), request_id,
                  std::span<const std::uint8_t>(payload, sizeof(payload)));
-    counters_.record_frame_out();
+    r.counters.record_frame_out();
 }
 
-void wire_server::queue_error(connection& conn, std::uint32_t request_id,
-                              wire_error code, const char* message) {
+void wire_server::queue_error(reactor& r, connection& conn,
+                              std::uint32_t request_id, wire_error code,
+                              const char* message) {
     append_error_frame(conn.wbuf, request_id, code, message);
-    counters_.record_frame_out();
+    r.counters.record_frame_out();
 }
 
-void wire_server::flush_writes(connection& conn) {
+void wire_server::flush_writes(reactor& r, connection& conn) {
     while (conn.wpos < conn.wbuf.size()) {
         const ssize_t sent =
             ::send(conn.sock.get(), conn.wbuf.data() + conn.wpos,
                    conn.wbuf.size() - conn.wpos, MSG_NOSIGNAL);
         if (sent > 0) {
             conn.wpos += static_cast<std::size_t>(sent);
-            counters_.record_bytes_out(static_cast<std::uint64_t>(sent));
+            r.counters.record_bytes_out(static_cast<std::uint64_t>(sent));
             continue;
         }
         if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         if (sent < 0 && errno == EINTR) continue;
-        close_connection(conn.id); // peer reset underneath us
+        close_connection(r, conn.id); // peer reset underneath us
         return;
     }
     if (conn.wpos == conn.wbuf.size()) {
@@ -597,27 +735,27 @@ void wire_server::flush_writes(connection& conn) {
                             static_cast<std::ptrdiff_t>(conn.wpos));
         conn.wpos = 0;
     }
-    update_epoll_interest(conn);
+    update_epoll_interest(r, conn);
 }
 
-void wire_server::update_epoll_interest(connection& conn) {
+void wire_server::update_epoll_interest(reactor& r, connection& conn) {
     const bool needs_write = conn.wpos < conn.wbuf.size();
     if (needs_write == conn.want_write) return;
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLET | (needs_write ? EPOLLOUT : 0U);
     ev.data.u64 = conn.id;
-    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn.sock.get(), &ev) == 0) {
+    if (::epoll_ctl(r.epoll.get(), EPOLL_CTL_MOD, conn.sock.get(), &ev) == 0) {
         conn.want_write = needs_write;
     }
 }
 
-void wire_server::close_connection(std::uint64_t conn_id) {
-    const auto it = conns_.find(conn_id);
-    if (it == conns_.end()) return;
+void wire_server::close_connection(reactor& r, std::uint64_t conn_id) {
+    const auto it = r.conns.find(conn_id);
+    if (it == r.conns.end()) return;
     // socket_fd close also removes the fd from the epoll set; completions
     // for in-flight requests find the id gone and are dropped.
-    conns_.erase(it);
-    counters_.record_close();
+    r.conns.erase(it);
+    r.counters.record_close();
 }
 
 } // namespace uhd::net

@@ -64,6 +64,10 @@
 #include "uhd/serve/serve_stats.hpp"
 #include "uhd/serve/snapshot_cell.hpp"
 
+namespace uhd::core {
+class uhd_encoder; // raw-query encode stage (engine_options::encoder)
+} // namespace uhd::core
+
 namespace uhd::serve {
 
 /// Engine tuning knobs.
@@ -76,6 +80,13 @@ struct engine_options {
     std::size_t max_batch = 32;
     /// Bounded backlog; producers block (backpressure) when it is full.
     std::size_t queue_capacity = 4096;
+    /// Optional raw-feature encoder: when set, the engine accepts raw
+    /// pixel queries through try_submit_raw() and its workers encode each
+    /// drained raw micro-batch with ONE encode_batch call (block kernels)
+    /// before answering — the off-loop encode stage. The encoder must
+    /// outlive the engine and produce dim() accumulators; encoders are
+    /// immutable after construction, so concurrent worker use is safe.
+    const core::uhd_encoder* encoder = nullptr;
 };
 
 /// Completion callback for the wire-path submit: invoked exactly once, from
@@ -130,8 +141,18 @@ public:
     [[nodiscard]] std::future<std::size_t> submit(std::vector<std::int32_t> encoded);
 
     /// Blocking convenience: submit + wait. The span is copied into the
-    /// request; prefer submit() with a moved vector on hot paths.
+    /// request; prefer submit() with a moved vector, or the scratch
+    /// overload below, on hot paths.
     [[nodiscard]] std::size_t predict(std::span<const std::int32_t> encoded);
+
+    /// Allocation-reusing predict: the span is copied into `scratch`
+    /// (reusing its capacity — no allocation once warm), the request moves
+    /// the buffer through the queue, and the worker hands the allocation
+    /// back into `scratch` before fulfilling the future. The promise/future
+    /// edge sequences the handoff, so when this returns the caller owns the
+    /// (repopulated) scratch again and the next call is allocation-free.
+    [[nodiscard]] std::size_t predict(std::span<const std::int32_t> encoded,
+                                      std::vector<std::int32_t>& scratch);
 
     /// Non-blocking wire-path enqueue: never waits for queue capacity, and
     /// answers through `done` instead of a future, so a single-threaded
@@ -151,11 +172,32 @@ public:
     [[nodiscard]] bool try_submit(std::vector<std::int32_t>& encoded,
                                   answer_callback done, bool dynamic = false);
 
+    /// Non-blocking raw-feature enqueue (wire path): same contract as
+    /// try_submit, but the payload is raw pixels (raw_pixels() bytes) and a
+    /// worker encodes it off the caller's thread — drained raw requests are
+    /// batch-encoded with one encode_batch call per micro-batch, then
+    /// answered through the usual block path. On a full queue returns false
+    /// with `raw` handed back intact. Throws uhd::error on a size mismatch,
+    /// on an engine without an encoder, on a stopped engine, or when
+    /// `dynamic` is requested without a policy.
+    [[nodiscard]] bool try_submit_raw(std::vector<std::uint8_t>& raw,
+                                      answer_callback done,
+                                      bool dynamic = false);
+
     /// Whether this engine can answer dynamic (early-exit cascade) requests
     /// — i.e. it was constructed with a dynamic_query_policy.
     [[nodiscard]] bool dynamic_capable() const noexcept {
         return policy_.has_value();
     }
+
+    /// Whether this engine accepts raw-feature queries (engine_options
+    /// carried an encoder).
+    [[nodiscard]] bool raw_capable() const noexcept {
+        return encoder_ != nullptr;
+    }
+
+    /// Raw query payload size in bytes (0 when !raw_capable()).
+    [[nodiscard]] std::size_t raw_pixels() const noexcept;
 
     /// Point-in-time counters (see serve_stats for the consistency note).
     [[nodiscard]] serve_stats stats() const;
@@ -174,14 +216,23 @@ public:
 private:
     struct request {
         std::vector<std::int32_t> encoded;
+        std::vector<std::uint8_t> raw;    ///< raw pixels; non-empty until the
+                                          ///< worker's encode stage fills
+                                          ///< `encoded` from it
         std::promise<std::size_t> answer; ///< future path (on_done empty)
         answer_callback on_done;          ///< wire path; answers via callback
+        std::vector<std::int32_t>* reclaim = nullptr; ///< scratch-predict:
+                                          ///< worker moves `encoded` back
+                                          ///< here before answering
         bool dynamic = false;             ///< answer through the cascade
+        bool failed = false;              ///< already failed (encode stage);
+                                          ///< skip in the answer groups
     };
 
     void start_workers(std::size_t workers);
     void worker_loop();
-    /// Deliver one answered request through its callback or promise.
+    /// Deliver one answered request through its callback or promise (hands
+    /// the encoded buffer back through req.reclaim first, when set).
     static void complete(request& req, std::size_t label, std::uint64_t version);
     /// Deliver a failure through the request's callback or promise.
     static void fail(request& req, const std::exception_ptr& error);
@@ -194,6 +245,7 @@ private:
 
     snapshot_cell current_;
     std::optional<hdc::dynamic_query_policy> policy_;
+    const core::uhd_encoder* encoder_ = nullptr;
     micro_batch_queue<request> queue_;
     std::size_t max_batch_;
     serve_counters counters_;

@@ -23,6 +23,11 @@ struct serve_stats {
     std::uint64_t snapshot_swaps = 0;     ///< publish() calls accepted
     std::uint64_t max_batch_observed = 0; ///< largest drained batch
     std::uint64_t snapshot_version = 0;   ///< version of the live snapshot
+    std::uint64_t raw_queries = 0;        ///< requests that arrived as raw
+                                          ///< features (encoded off-loop by
+                                          ///< the worker's encode stage)
+    std::uint64_t encode_kernel_calls = 0; ///< encode_batch drain calls
+                                           ///< (1 per raw micro-batch)
 
     /// Effective block utilization: requests answered per distance-engine
     /// drain call (== avg micro-batch size when every batch takes the
@@ -31,6 +36,16 @@ struct serve_stats {
         return kernel_calls == 0 ? 0.0
                                  : static_cast<double>(queries) /
                                        static_cast<double>(kernel_calls);
+    }
+
+    /// Encode-stage utilization: raw requests encoded per encode_batch
+    /// drain call — the same amortization measure as block_utilization,
+    /// for the off-loop raw-query encode stage.
+    [[nodiscard]] double encode_utilization() const noexcept {
+        return encode_kernel_calls == 0
+                   ? 0.0
+                   : static_cast<double>(raw_queries) /
+                         static_cast<double>(encode_kernel_calls);
     }
 };
 
@@ -56,6 +71,13 @@ public:
         swaps_.fetch_add(1, std::memory_order_relaxed);
     }
 
+    /// One drained raw micro-batch: `raw` requests encoded through a
+    /// single encode_batch call (the off-loop encode stage).
+    void record_encode(std::uint64_t raw) noexcept {
+        raw_queries_.fetch_add(raw, std::memory_order_relaxed);
+        encode_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     [[nodiscard]] serve_stats load(std::uint64_t snapshot_version) const noexcept {
         serve_stats out;
         out.queries = queries_.load(std::memory_order_relaxed);
@@ -64,6 +86,8 @@ public:
         out.snapshot_swaps = swaps_.load(std::memory_order_relaxed);
         out.max_batch_observed = max_batch_.load(std::memory_order_relaxed);
         out.snapshot_version = snapshot_version;
+        out.raw_queries = raw_queries_.load(std::memory_order_relaxed);
+        out.encode_kernel_calls = encode_calls_.load(std::memory_order_relaxed);
         return out;
     }
 
@@ -84,6 +108,8 @@ private:
     alignas(64) std::atomic<std::uint64_t> kernel_calls_{0};
     alignas(64) std::atomic<std::uint64_t> swaps_{0};
     alignas(64) std::atomic<std::uint64_t> max_batch_{0};
+    alignas(64) std::atomic<std::uint64_t> raw_queries_{0};
+    alignas(64) std::atomic<std::uint64_t> encode_calls_{0};
 };
 
 } // namespace uhd::serve

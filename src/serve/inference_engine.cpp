@@ -1,10 +1,13 @@
 #include "uhd/serve/inference_engine.hpp"
 
+#include <algorithm>
 #include <span>
 #include <utility>
 
+#include "uhd/common/affinity.hpp"
 #include "uhd/common/error.hpp"
 #include "uhd/common/kernels.hpp"
+#include "uhd/core/encoder.hpp"
 
 namespace uhd::serve {
 
@@ -12,9 +15,11 @@ inference_engine::inference_engine(hdc::inference_snapshot initial,
                                    engine_options options)
     : dim_(initial.dim()), classes_(initial.classes()), mode_(initial.mode()),
       current_(std::make_shared<const hdc::inference_snapshot>(std::move(initial))),
-      queue_(options.queue_capacity),
+      encoder_(options.encoder), queue_(options.queue_capacity),
       max_batch_(options.max_batch == 0 ? 1 : options.max_batch) {
     UHD_REQUIRE(dim_ >= 1, "engine needs a non-empty snapshot");
+    UHD_REQUIRE(encoder_ == nullptr || encoder_->dim() == dim_,
+                "engine encoder dim does not match the snapshot");
     start_workers(options.workers);
 }
 
@@ -23,9 +28,12 @@ inference_engine::inference_engine(hdc::inference_snapshot initial,
                                    engine_options options)
     : dim_(initial.dim()), classes_(initial.classes()), mode_(initial.mode()),
       current_(std::make_shared<const hdc::inference_snapshot>(std::move(initial))),
-      policy_(std::move(policy)), queue_(options.queue_capacity),
+      policy_(std::move(policy)), encoder_(options.encoder),
+      queue_(options.queue_capacity),
       max_batch_(options.max_batch == 0 ? 1 : options.max_batch) {
     UHD_REQUIRE(dim_ >= 1, "engine needs a non-empty snapshot");
+    UHD_REQUIRE(encoder_ == nullptr || encoder_->dim() == dim_,
+                "engine encoder dim does not match the snapshot");
     // Policies are keyed on the row width; a mismatched one would fail on
     // the first query — fail at construction instead.
     UHD_REQUIRE(policy_->full_words() == current_.load()->words_per_class(),
@@ -37,6 +45,9 @@ inference_engine::~inference_engine() { stop(); }
 
 void inference_engine::start_workers(std::size_t workers) {
     if (workers == 0) workers = 1;
+    // Resolve UHD_AFFINITY on the constructing thread so a bad value throws
+    // here, not inside a worker (pin_this_thread is noexcept).
+    (void)resolved_affinity();
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
         workers_.emplace_back([this] { worker_loop(); });
@@ -101,8 +112,59 @@ bool inference_engine::try_submit(std::vector<std::int32_t>& encoded,
     }
 }
 
+bool inference_engine::try_submit_raw(std::vector<std::uint8_t>& raw,
+                                      answer_callback done, bool dynamic) {
+    UHD_REQUIRE(encoder_ != nullptr,
+                "raw submit on an engine without an encoder");
+    UHD_REQUIRE(raw.size() == encoder_->pixels(), "raw query size mismatch");
+    UHD_REQUIRE(done != nullptr, "try_submit_raw() needs a completion callback");
+    UHD_REQUIRE(!dynamic || policy_.has_value(),
+                "dynamic request on an engine without a dynamic policy");
+    UHD_REQUIRE(!stopped_.load(std::memory_order_acquire),
+                "try_submit_raw() on a stopped engine");
+    request req;
+    req.raw = std::move(raw);
+    req.on_done = std::move(done);
+    req.dynamic = dynamic;
+    switch (queue_.try_push(std::move(req))) {
+    case push_result::pushed:
+        return true;
+    case push_result::full:
+        // Hand the payload back untouched so the caller can park + retry.
+        raw = std::move(req.raw);
+        return false;
+    case push_result::closed:
+    default:
+        throw uhd::error("try_submit_raw() on a stopped engine");
+    }
+}
+
 std::size_t inference_engine::predict(std::span<const std::int32_t> encoded) {
     return submit(std::vector<std::int32_t>(encoded.begin(), encoded.end())).get();
+}
+
+std::size_t inference_engine::predict(std::span<const std::int32_t> encoded,
+                                      std::vector<std::int32_t>& scratch) {
+    UHD_REQUIRE(encoded.size() == dim_, "encoded query size mismatch");
+    UHD_REQUIRE(!stopped_.load(std::memory_order_acquire),
+                "predict() on a stopped engine");
+    scratch.assign(encoded.begin(), encoded.end()); // reuses capacity
+    request req;
+    req.encoded = std::move(scratch);
+    req.reclaim = &scratch;
+    req.dynamic = policy_.has_value();
+    std::future<std::size_t> result = req.answer.get_future();
+    if (!queue_.push(std::move(req))) {
+        throw uhd::error("predict() on a stopped engine");
+    }
+    // The worker moves the buffer back into `scratch` before set_value, and
+    // get() happens-after set_value, so the caller re-owns the allocation
+    // (now warm) the moment this returns.
+    return result.get();
+}
+
+std::size_t inference_engine::raw_pixels() const noexcept {
+    return encoder_ == nullptr ? 0 : encoder_->pixels();
 }
 
 serve_stats inference_engine::stats() const {
@@ -124,6 +186,10 @@ void inference_engine::stop() {
 
 void inference_engine::complete(request& req, std::size_t label,
                                 std::uint64_t version) {
+    // Scratch-predict handoff: return the encoded buffer BEFORE the promise
+    // is fulfilled — set_value/get() is the synchronization edge that makes
+    // the caller's read of *reclaim race-free.
+    if (req.reclaim != nullptr) *req.reclaim = std::move(req.encoded);
     if (req.on_done) {
         // Wire-path callbacks are documented cheap and non-throwing; a
         // throw here must not take down the worker (it would strand every
@@ -138,6 +204,8 @@ void inference_engine::complete(request& req, std::size_t label,
 }
 
 void inference_engine::fail(request& req, const std::exception_ptr& error) {
+    req.failed = true;
+    if (req.reclaim != nullptr) *req.reclaim = std::move(req.encoded);
     if (req.on_done) {
         try {
             req.on_done(0, 0, error);
@@ -149,13 +217,16 @@ void inference_engine::fail(request& req, const std::exception_ptr& error) {
 }
 
 void inference_engine::worker_loop() {
+    pin_this_thread(); // UHD_AFFINITY=auto: distinct core per worker
     std::vector<request> batch;
     // Worker-local block scratch, reused across drains: the group index
-    // list, the packed query block (one sign-binarized row per request)
-    // and the answer slots.
+    // list, the packed query block (one sign-binarized row per request),
+    // the answer slots, and the encode-stage gather/output buffers.
     std::vector<std::size_t> group;
     std::vector<std::uint64_t> packed;
     std::vector<std::size_t> answers;
+    std::vector<std::uint8_t> raw_gather;
+    std::vector<std::int32_t> encoded_out;
     while (queue_.pop_batch(batch, max_batch_) != 0) {
         // One snapshot load per micro-batch: every request in the batch is
         // answered from the same immutable state, concurrent publishes
@@ -163,6 +234,47 @@ void inference_engine::worker_loop() {
         const std::shared_ptr<const hdc::inference_snapshot> snap = current_.load();
         const std::uint64_t version = snap->version();
         std::uint64_t kernel_calls = 0;
+
+        // Encode stage: raw requests in the drained batch are gathered into
+        // one contiguous image block and pushed through ONE encode_batch
+        // call (the block kernels), so encoding is amortized exactly like
+        // the distance kernels below — and bit-identical to the inline
+        // single-query encode (encode_batch ≡ encode, tested per backend).
+        if (encoder_ != nullptr) {
+            group.clear();
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                if (!batch[i].raw.empty()) group.push_back(i);
+            }
+            if (!group.empty()) {
+                const std::size_t pixels = encoder_->pixels();
+                raw_gather.resize(group.size() * pixels);
+                encoded_out.resize(group.size() * dim_);
+                try {
+                    for (std::size_t g = 0; g < group.size(); ++g) {
+                        const std::vector<std::uint8_t>& raw = batch[group[g]].raw;
+                        std::copy(raw.begin(), raw.end(),
+                                  raw_gather.begin() +
+                                      static_cast<std::ptrdiff_t>(g * pixels));
+                    }
+                    encoder_->encode_batch(
+                        std::span<const std::uint8_t>(raw_gather),
+                        group.size(), std::span<std::int32_t>(encoded_out));
+                    for (std::size_t g = 0; g < group.size(); ++g) {
+                        request& req = batch[group[g]];
+                        req.encoded.assign(
+                            encoded_out.begin() +
+                                static_cast<std::ptrdiff_t>(g * dim_),
+                            encoded_out.begin() +
+                                static_cast<std::ptrdiff_t>((g + 1) * dim_));
+                    }
+                } catch (...) {
+                    for (const std::size_t i : group) {
+                        fail(batch[i], std::current_exception());
+                    }
+                }
+                counters_.record_encode(group.size());
+            }
+        }
 
         // Requests route per-request since the wire path arrived: a drained
         // batch may mix full-scan (dynamic == false) and cascade
@@ -174,7 +286,10 @@ void inference_engine::worker_loop() {
         const auto answer_group = [&](bool dynamic) {
             group.clear();
             for (std::size_t i = 0; i < batch.size(); ++i) {
-                if (batch[i].dynamic == dynamic) group.push_back(i);
+                // failed: already answered by the encode stage's fail()
+                if (batch[i].dynamic == dynamic && !batch[i].failed) {
+                    group.push_back(i);
+                }
             }
             if (group.empty()) return;
             if (!dynamic && mode_ == hdc::query_mode::integer) {

@@ -528,4 +528,101 @@ TEST(InferenceEngine, TrySubmitReturnsFalseOnFullQueueAndKeepsPayload) {
     EXPECT_EQ(delivered.load(), accepted);
 }
 
+TEST(InferenceEngine, RawSubmitBatchEncodesBitIdenticalToDirectPredict) {
+    // The off-loop encode stage: raw pixels through try_submit_raw must
+    // answer exactly like encoding on the caller's thread and submitting
+    // pre-encoded — and the encode accounting must show batched
+    // encode_batch calls, not one call per query.
+    const auto train = data::make_synthetic_digits(150, 71);
+    const auto test = data::make_synthetic_digits(80, 72);
+    const auto enc = make_encoder(train);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    engine_options opts;
+    opts.workers = 2;
+    opts.max_batch = 16;
+    opts.encoder = &enc;
+    inference_engine engine(clf.snapshot(), opts);
+    ASSERT_TRUE(engine.raw_capable());
+    ASSERT_EQ(engine.raw_pixels(), test.image(0).size());
+    std::mutex mutex;
+    std::vector<std::size_t> labels(test.size(), ~std::size_t{0});
+    std::atomic<std::size_t> errors{0};
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        std::vector<std::uint8_t> raw(test.image(i).begin(),
+                                      test.image(i).end());
+        const bool accepted = engine.try_submit_raw(
+            raw, [&, i](std::size_t label, std::uint64_t,
+                        std::exception_ptr error) {
+                if (error != nullptr) {
+                    errors.fetch_add(1);
+                    return;
+                }
+                const std::lock_guard<std::mutex> lock(mutex);
+                labels[i] = label;
+            });
+        ASSERT_TRUE(accepted); // queue far larger than the test set
+        EXPECT_TRUE(raw.empty());
+    }
+    engine.stop(); // drains: every callback has run
+    EXPECT_EQ(errors.load(), 0u);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        EXPECT_EQ(labels[i], clf.predict_encoded(encode_one(enc, test, i)))
+            << "query " << i;
+    }
+    const serve::serve_stats stats = engine.stats();
+    EXPECT_EQ(stats.raw_queries, test.size());
+    EXPECT_GE(stats.encode_kernel_calls, 1u);
+    EXPECT_LE(stats.encode_kernel_calls, stats.raw_queries);
+    EXPECT_GE(stats.encode_utilization(), 1.0);
+}
+
+TEST(InferenceEngine, RawSubmitValidatesEncoderPixelsAndShutdown) {
+    const auto train = data::make_synthetic_digits(60, 76);
+    const auto enc = make_encoder(train, 256);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    const serve::answer_callback ignore =
+        [](std::size_t, std::uint64_t, std::exception_ptr) {};
+    // No encoder configured: raw queries are a usage error.
+    inference_engine plain(clf.snapshot());
+    EXPECT_FALSE(plain.raw_capable());
+    EXPECT_EQ(plain.raw_pixels(), 0u);
+    std::vector<std::uint8_t> raw(train.image(0).begin(),
+                                  train.image(0).end());
+    EXPECT_THROW((void)plain.try_submit_raw(raw, ignore), uhd::error);
+    // Encoder configured: the payload must be exactly raw_pixels() bytes.
+    engine_options opts;
+    opts.encoder = &enc;
+    inference_engine engine(clf.snapshot(), opts);
+    std::vector<std::uint8_t> wrong(engine.raw_pixels() + 3, 0);
+    EXPECT_THROW((void)engine.try_submit_raw(wrong, ignore), uhd::error);
+    EXPECT_EQ(wrong.size(), engine.raw_pixels() + 3); // payload untouched
+    engine.stop();
+    EXPECT_THROW((void)engine.try_submit_raw(raw, ignore), uhd::error);
+}
+
+TEST(InferenceEngine, ScratchPredictReusesTheAllocationAndMatches) {
+    const auto train = data::make_synthetic_digits(120, 77);
+    const auto test = data::make_synthetic_digits(40, 78);
+    const auto enc = make_encoder(train);
+    hd_classifier<core::uhd_encoder> clf(enc, 10);
+    clf.fit(train);
+    inference_engine engine(clf.snapshot());
+    std::vector<std::int32_t> scratch;
+    // Warm-up call owns the one allocation.
+    const auto first = encode_one(enc, test, 0);
+    EXPECT_EQ(engine.predict(first, scratch), clf.predict_encoded(first));
+    ASSERT_EQ(scratch.size(), enc.dim()); // the buffer came back
+    const std::int32_t* warm = scratch.data();
+    for (std::size_t i = 1; i < test.size(); ++i) {
+        const auto encoded = encode_one(enc, test, i);
+        EXPECT_EQ(engine.predict(encoded, scratch),
+                  clf.predict_encoded(encoded))
+            << "query " << i;
+        // Same allocation round-trips through the queue every call.
+        EXPECT_EQ(scratch.data(), warm) << "scratch reallocated, query " << i;
+    }
+}
+
 } // namespace

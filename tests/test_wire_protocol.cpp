@@ -51,15 +51,21 @@ struct server_fixture {
 
     explicit server_fixture(bool dynamic = false,
                             wire_server_options options = {},
-                            std::size_t dim = 512)
+                            std::size_t dim = 512, bool off_loop_raw = false)
         : model(make_config(dim), train.shape(), train.num_classes(),
                 hdc::train_mode::raw_sums, hdc::query_mode::binarized) {
         model.fit(train);
+        serve::engine_options engine_options;
+        // off_loop_raw routes raw-feature frames through the engine's
+        // batched encode stage; otherwise the server encodes inline on
+        // the reactor (the trainer provides the encoder).
+        if (off_loop_raw) engine_options.encoder = &model.encoder();
         if (dynamic) {
             engine.emplace(model.snapshot(),
-                           model.calibrate_dynamic(train, 0.95));
+                           model.calibrate_dynamic(train, 0.95),
+                           engine_options);
         } else {
-            engine.emplace(model.snapshot());
+            engine.emplace(model.snapshot(), engine_options);
         }
         server.emplace(*engine, options, &model);
         server->start();
@@ -182,6 +188,9 @@ TEST(WireFormat, StatsReplyRoundTrips) {
     in.bytes_out = 12;
     in.malformed_frames = 13;
     in.throttle_events = 14;
+    in.reactors = 15;
+    in.raw_queries = 16;
+    in.encode_kernel_calls = 17;
     std::uint8_t raw[stats_reply_size];
     encode_stats_reply(raw, in);
     const auto out = parse_stats_reply(std::span<const std::uint8_t>(raw));
@@ -189,6 +198,9 @@ TEST(WireFormat, StatsReplyRoundTrips) {
     EXPECT_EQ(out->queries, 1u);
     EXPECT_EQ(out->snapshot_version, 6u);
     EXPECT_EQ(out->throttle_events, 14u);
+    EXPECT_EQ(out->reactors, 15u);
+    EXPECT_EQ(out->raw_queries, 16u);
+    EXPECT_EQ(out->encode_kernel_calls, 17u);
     EXPECT_FALSE(
         parse_stats_reply(std::span<const std::uint8_t>(raw, 8)).has_value());
 }
@@ -215,6 +227,27 @@ TEST(WireServer, RawFeaturePredictMatchesEncodedPredict) {
         const predict_reply encoded = client.predict_encoded(fx.encoded_query(i));
         EXPECT_EQ(raw.label, encoded.label) << "query " << i;
     }
+}
+
+TEST(WireServer, RawPredictThroughOffLoopEncodeStageMatchesOracle) {
+    // Engine configured with the encoder: raw frames are batch-encoded by
+    // the serve workers (one encode_batch per drained micro-batch), not
+    // inline on the reactor — answers must still be bit-identical.
+    const server_fixture fx(false, {}, 512, /*off_loop_raw=*/true);
+    const hdc::inference_snapshot oracle = fx.model.snapshot();
+    wire_client client = fx.connect();
+    for (std::size_t i = 0; i < fx.test.size(); ++i) {
+        const predict_reply reply = client.predict_raw(fx.test.image(i));
+        EXPECT_EQ(reply.label, oracle.predict_encoded(fx.encoded_query(i)))
+            << "query " << i;
+    }
+    // The encode stage accounted its work, and the counters surface over
+    // the wire (schema: 17-field stats reply).
+    const stats_reply stats = client.stats();
+    EXPECT_EQ(stats.raw_queries, fx.test.size());
+    EXPECT_GE(stats.encode_kernel_calls, 1u);
+    EXPECT_LE(stats.encode_kernel_calls, stats.raw_queries);
+    EXPECT_EQ(stats.reactors, 1u);
 }
 
 TEST(WireServer, WireRoutingMatchesBothDirectPathsOnAPolicyServer) {
@@ -539,6 +572,87 @@ TEST(WireFuzz, ByteAtATimeDeliveryHitsEverySplitBoundary) {
     }
     EXPECT_TRUE(saw_pong);
     EXPECT_EQ(predicts, 3u);
+}
+
+TEST(WireFuzz, RawFramesByteAtATimeHitEverySplitBoundary) {
+    // The raw opcode under the frame fuzzer, through the off-loop encode
+    // stage: pipelined raw-feature frames delivered one byte per send()
+    // must reassemble and answer bit-identically.
+    const server_fixture fx(false, {}, 512, /*off_loop_raw=*/true);
+    const hdc::inference_snapshot oracle = fx.model.snapshot();
+    wire_client client = fx.connect();
+    std::vector<std::uint8_t> stream;
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < 3; ++i) {
+        append_predict_raw(stream, opcode::predict,
+                           static_cast<std::uint32_t>(i), fx.test.image(i));
+        expected.push_back(oracle.predict_encoded(fx.encoded_query(i)));
+    }
+    for (const std::uint8_t byte : stream) {
+        client.send_bytes(std::span<const std::uint8_t>(&byte, 1));
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const wire_frame reply = client.read_frame();
+        EXPECT_EQ(reply.header.op, reply_opcode(opcode::predict));
+        EXPECT_EQ(reply.header.request_id, i);
+        const auto parsed = parse_predict_reply(reply.payload);
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->label, expected[i]);
+    }
+}
+
+TEST(WireFuzz, RawPredictWithWrongPixelCountGetsBadPayload) {
+    // Wrong `pixels` length is a request-level error on BOTH raw paths
+    // (off-loop encode stage and inline reactor encode): error frame,
+    // connection lives.
+    for (const bool off_loop : {false, true}) {
+        const server_fixture fx(false, {}, 512, off_loop);
+        wire_client client = fx.connect();
+        const std::size_t pixels = fx.test.image(0).size();
+        for (const std::size_t bad_len : {pixels - 1, pixels + 7,
+                                          std::size_t{0}}) {
+            std::vector<std::uint8_t> junk;
+            const std::vector<std::uint8_t> body(bad_len, 0x40);
+            append_predict_raw(junk, opcode::predict, 5, body);
+            client.send_bytes(junk);
+            const wire_frame reply = client.read_frame();
+            EXPECT_EQ(reply.header.op, op_error) << "off_loop=" << off_loop;
+            EXPECT_EQ(load_u16(reply.payload.data()),
+                      static_cast<std::uint16_t>(wire_error::bad_payload));
+        }
+        // Correctly-sized raw traffic still answers on the same stream.
+        const predict_reply good = client.predict_raw(fx.test.image(0));
+        EXPECT_EQ(good.label,
+                  fx.model.snapshot().predict_encoded(fx.encoded_query(0)));
+    }
+}
+
+TEST(WireFuzz, RawPredictOnAnEncoderlessServerGetsUnsupported) {
+    // No trainer, no server-side encoder, engine without the off-loop
+    // stage: raw frames are valid protocol the server cannot serve.
+    data::dataset train = data::make_synthetic_digits(120, 91);
+    core::uhd_model model(server_fixture::make_config(512), train.shape(),
+                          train.num_classes(), hdc::train_mode::raw_sums,
+                          hdc::query_mode::binarized);
+    model.fit(train);
+    serve::inference_engine engine(model.snapshot());
+    wire_server server(engine, {}, /*trainer=*/nullptr);
+    server.start();
+    wire_client client("127.0.0.1", server.port());
+    client.set_recv_timeout_ms(recv_timeout_ms);
+    std::vector<std::uint8_t> frame;
+    append_predict_raw(frame, opcode::predict, 1, train.image(0));
+    client.send_bytes(frame);
+    const wire_frame reply = client.read_frame();
+    EXPECT_EQ(reply.header.op, op_error);
+    EXPECT_EQ(load_u16(reply.payload.data()),
+              static_cast<std::uint16_t>(wire_error::unsupported));
+    // Pre-encoded traffic is unaffected.
+    std::vector<std::int32_t> encoded(model.encoder().dim());
+    model.encoder().encode(train.image(0), encoded);
+    EXPECT_EQ(client.predict_encoded(encoded).label,
+              model.snapshot().predict_encoded(encoded));
+    server.stop();
 }
 
 TEST(WireFuzz, SeededRandomGarbageNeverCrashesTheServer) {

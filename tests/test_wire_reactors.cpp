@@ -1,0 +1,271 @@
+// Multi-reactor wire server tests: N SO_REUSEPORT epoll loops on one
+// port must stay invisible to clients — every reply bit-identical to the
+// snapshot oracle regardless of which reactor a connection lands on, the
+// per-reactor stats shards must sum exactly to the aggregated stats(),
+// partial_fit must stay serialized across reactors, and stop() racing
+// in-flight traffic must tear every shard down cleanly. This suite also
+// runs under TSan in CI (the mailbox/eventfd shutdown ordering and the
+// trainer mutex are exactly the races TSan can see).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "uhd/common/error.hpp"
+#include "uhd/core/model.hpp"
+#include "uhd/data/synthetic.hpp"
+#include "uhd/hdc/inference_snapshot.hpp"
+#include "uhd/net/wire_client.hpp"
+#include "uhd/net/wire_server.hpp"
+#include "uhd/serve/inference_engine.hpp"
+
+namespace {
+
+using namespace uhd;
+using namespace uhd::net;
+
+constexpr long recv_timeout_ms = 20000;
+
+/// Serving fixture pinned to a reactor count (and optionally the
+/// engine-side off-loop raw encode stage).
+struct sharded_fixture {
+    data::dataset train = data::make_synthetic_digits(120, 91);
+    data::dataset test = data::make_synthetic_digits(40, 92);
+    core::uhd_model model;
+    std::optional<serve::inference_engine> engine;
+    std::optional<wire_server> server;
+
+    explicit sharded_fixture(std::size_t reactors, bool off_loop_raw = false)
+        : model(make_config(), train.shape(), train.num_classes(),
+                hdc::train_mode::raw_sums, hdc::query_mode::binarized) {
+        model.fit(train);
+        serve::engine_options engine_options;
+        if (off_loop_raw) engine_options.encoder = &model.encoder();
+        engine.emplace(model.snapshot(), engine_options);
+        wire_server_options options;
+        options.reactors = reactors;
+        server.emplace(*engine, options, &model);
+        server->start();
+    }
+
+    static core::uhd_config make_config() {
+        core::uhd_config cfg;
+        cfg.dim = 512;
+        return cfg;
+    }
+
+    [[nodiscard]] wire_client connect() const {
+        wire_client client("127.0.0.1", server->port());
+        client.set_recv_timeout_ms(recv_timeout_ms);
+        return client;
+    }
+
+    [[nodiscard]] std::vector<std::int32_t> encoded_query(std::size_t i) const {
+        std::vector<std::int32_t> out(model.encoder().dim());
+        model.encoder().encode(test.image(i % test.size()), out);
+        return out;
+    }
+};
+
+/// Field-wise shard sum, for comparing against the aggregated stats().
+wire_stats sum_shards(const wire_server& server) {
+    wire_stats total;
+    for (std::size_t i = 0; i < server.reactor_count(); ++i) {
+        total += server.reactor_stats(i);
+    }
+    return total;
+}
+
+TEST(WireReactors, ManyConnectionsAcrossReactorsAnswerBitIdentical) {
+    const sharded_fixture fx(3);
+    ASSERT_EQ(fx.server->reactor_count(), 3u);
+    const hdc::inference_snapshot oracle = fx.model.snapshot();
+    constexpr std::size_t n_conns = 8;
+    constexpr std::size_t per_conn = 40;
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> mismatches{0};
+    for (std::size_t t = 0; t < n_conns; ++t) {
+        threads.emplace_back([&, t] {
+            wire_client client = fx.connect();
+            for (std::size_t q = 0; q < per_conn; ++q) {
+                const auto encoded = fx.encoded_query(t * 17 + q);
+                if (client.predict_encoded(encoded).label !=
+                    oracle.predict_encoded(encoded)) {
+                    mismatches.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+    const wire_stats total = fx.server->stats();
+    EXPECT_EQ(total.connections_accepted, n_conns);
+    EXPECT_GE(total.frames_in, n_conns * per_conn);
+}
+
+TEST(WireReactors, ShardStatsSumExactlyToAggregatedTotals) {
+    sharded_fixture fx(4);
+    constexpr std::size_t n_conns = 6;
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < n_conns; ++t) {
+        threads.emplace_back([&, t] {
+            wire_client client = fx.connect();
+            client.ping();
+            for (std::size_t q = 0; q < 25; ++q) {
+                (void)client.predict_encoded(fx.encoded_query(t + q));
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    // stop() first: it freezes the shards (and loop_cpu_ns stops
+    // ticking), and the counters must survive it for exactly this kind
+    // of post-run reading.
+    fx.server->stop();
+    const wire_stats total = fx.server->stats();
+    const wire_stats summed = sum_shards(*fx.server);
+    EXPECT_EQ(summed.connections_accepted, total.connections_accepted);
+    EXPECT_EQ(summed.connections_active, total.connections_active);
+    EXPECT_EQ(summed.frames_in, total.frames_in);
+    EXPECT_EQ(summed.frames_out, total.frames_out);
+    EXPECT_EQ(summed.bytes_in, total.bytes_in);
+    EXPECT_EQ(summed.bytes_out, total.bytes_out);
+    EXPECT_EQ(summed.malformed_frames, total.malformed_frames);
+    EXPECT_EQ(summed.throttle_events, total.throttle_events);
+    EXPECT_EQ(summed.loop_cpu_ns, total.loop_cpu_ns);
+    EXPECT_GT(total.loop_cpu_ns, 0u);
+    EXPECT_EQ(total.connections_accepted, n_conns);
+    EXPECT_EQ(total.connections_active, 0u);
+    EXPECT_EQ(total.frames_in, n_conns * 26u);
+}
+
+TEST(WireReactors, RawOffLoopEncodeAcrossReactorsMatchesOracle) {
+    const sharded_fixture fx(2, /*off_loop_raw=*/true);
+    const hdc::inference_snapshot oracle = fx.model.snapshot();
+    constexpr std::size_t n_conns = 4;
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> mismatches{0};
+    for (std::size_t t = 0; t < n_conns; ++t) {
+        threads.emplace_back([&, t] {
+            wire_client client = fx.connect();
+            for (std::size_t q = 0; q < 30; ++q) {
+                const std::size_t i = (t * 11 + q) % fx.test.size();
+                if (client.predict_raw(fx.test.image(i)).label !=
+                    oracle.predict_encoded(fx.encoded_query(i))) {
+                    mismatches.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+    const serve::serve_stats engine_stats = fx.engine->stats();
+    EXPECT_EQ(engine_stats.raw_queries, n_conns * 30u);
+    EXPECT_GE(engine_stats.encode_kernel_calls, 1u);
+    EXPECT_LE(engine_stats.encode_kernel_calls, engine_stats.raw_queries);
+}
+
+TEST(WireReactors, PartialFitStaysSerializedAcrossReactors) {
+    // Concurrent partial_fit from connections on different reactors: the
+    // trainer mutex must hand out strictly unique cumulative update
+    // counts — merged across clients they are exactly 1..total.
+    sharded_fixture fx(3);
+    const data::dataset stream = data::make_synthetic_digits(48, 93);
+    constexpr std::size_t n_conns = 4;
+    const std::size_t per_conn = stream.size() / n_conns;
+    std::vector<std::vector<std::uint64_t>> seen(n_conns);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < n_conns; ++t) {
+        threads.emplace_back([&, t] {
+            wire_client client = fx.connect();
+            for (std::size_t q = 0; q < per_conn; ++q) {
+                const std::size_t i = t * per_conn + q;
+                const partial_fit_reply reply = client.partial_fit(
+                    static_cast<std::uint32_t>(stream.label(i)),
+                    stream.image(i));
+                seen[t].push_back(reply.updates);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    std::vector<std::uint64_t> merged;
+    for (const auto& s : seen) {
+        // Each connection observes its own counts strictly increasing.
+        EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+        merged.insert(merged.end(), s.begin(), s.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    ASSERT_EQ(merged.size(), n_conns * per_conn);
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i], i + 1) << "duplicate or lost update count";
+    }
+}
+
+TEST(WireReactors, StopRacingInflightTrafficShutsDownCleanly) {
+    // stop() while every reactor still has pipelined requests in flight:
+    // shard teardown must wait out engine callbacks on each mailbox (no
+    // use-after-free, no hang). Run a few rounds to vary the interleaving.
+    for (int round = 0; round < 3; ++round) {
+        sharded_fixture fx(3);
+        std::vector<std::uint8_t> burst;
+        for (std::size_t i = 0; i < 48; ++i) {
+            append_predict_encoded(burst, opcode::predict,
+                                   static_cast<std::uint32_t>(i),
+                                   fx.encoded_query(i));
+        }
+        std::vector<wire_client> clients;
+        for (std::size_t c = 0; c < 6; ++c) {
+            clients.push_back(fx.connect());
+            clients.back().send_bytes(burst);
+        }
+        fx.server->stop(); // races the in-flight answers on purpose
+        fx.server.reset();
+        fx.engine.reset();
+    }
+}
+
+TEST(WireReactors, ReactorCountResolvesFromEnvAndValidates) {
+    data::dataset train = data::make_synthetic_digits(60, 91);
+    core::uhd_model model(sharded_fixture::make_config(), train.shape(),
+                          train.num_classes(), hdc::train_mode::raw_sums,
+                          hdc::query_mode::binarized);
+    model.fit(train);
+    serve::inference_engine engine(model.snapshot());
+    // Explicit option wins; 0 defers to UHD_NET_REACTORS (default 1).
+    ::setenv("UHD_NET_REACTORS", "2", 1);
+    {
+        wire_server server(engine, {});
+        server.start();
+        EXPECT_EQ(server.reactor_count(), 2u);
+        server.stop();
+    }
+    {
+        wire_server_options options;
+        options.reactors = 3;
+        wire_server server(engine, options);
+        server.start();
+        EXPECT_EQ(server.reactor_count(), 3u);
+        server.stop();
+    }
+    // Out-of-range values throw on the constructing thread; unparseable
+    // text falls back to the default (the env_int convention).
+    ::setenv("UHD_NET_REACTORS", "0", 1);
+    EXPECT_THROW(wire_server(engine, {}), uhd::error);
+    ::setenv("UHD_NET_REACTORS", "1000", 1);
+    EXPECT_THROW(wire_server(engine, {}), uhd::error);
+    ::setenv("UHD_NET_REACTORS", "junk", 1);
+    {
+        wire_server server(engine, {});
+        server.start();
+        EXPECT_EQ(server.reactor_count(), 1u);
+        server.stop();
+    }
+    ::unsetenv("UHD_NET_REACTORS");
+}
+
+} // namespace
